@@ -1,0 +1,31 @@
+"""Ablation benchmarks (A1–A3 of DESIGN.md): Rule 1, one-to-one mapping, chunk size."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.figures import ablation_rules
+from repro.experiments.reporting import render_series
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_rules(benchmark, experiment_config):
+    series = benchmark.pedantic(
+        ablation_rules, args=(experiment_config,), kwargs={"epsilon": 1}, rounds=1, iterations=1
+    )
+    print()
+    print(render_series(series, plot=False))
+
+    # A2: disabling the one-to-one procedure can only increase the number of
+    # remote communications (full replication of every edge).
+    with_oto = series.series["remote comms LTF"]
+    without = series.series["remote comms LTF no one-to-one"]
+    for a, b in zip(with_oto, without):
+        if not (math.isnan(a) or math.isnan(b)):
+            assert a <= b + 1e-9
+
+    # A1/A3: all latency series are populated for every granularity.
+    for name, values in series.series.items():
+        assert len(values) == len(series.x), name

@@ -1,0 +1,22 @@
+"""Baseline-comparison benchmark (B1): fault-free R-LTF vs related-work heuristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import baseline_comparison
+from repro.experiments.reporting import render_series
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baseline_comparison(benchmark, experiment_config):
+    series = benchmark.pedantic(
+        baseline_comparison, args=(experiment_config,), rounds=1, iterations=1
+    )
+    print()
+    print(render_series(series, plot=False))
+    assert "fault-free R-LTF" in series.series
+    # every related-work heuristic contributes a full series
+    for name in ("heft", "etf", "preclustering", "expert", "tda", "wmsh"):
+        assert name in series.series
+        assert len(series.series[name]) == len(series.x)

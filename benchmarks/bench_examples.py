@@ -1,0 +1,31 @@
+"""Regenerate the worked examples of the paper (Figure 1 and Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import render_example_rows
+from repro.experiments.tables import figure1_scenarios, figure2_example
+
+
+@pytest.mark.benchmark(group="examples")
+def test_figure1_scenarios(benchmark):
+    rows = benchmark(figure1_scenarios)
+    print()
+    print(render_example_rows(rows, "Figure 1 — execution scenarios"))
+    pipelined = next(r for r in rows if r.scenario == "pipelined execution")
+    # the paper reports L = (2S-1)/T = 90 with S = 2 and T = 1/30
+    assert pipelined.stages == 2
+    assert pipelined.latency == pytest.approx(90.0)
+
+
+@pytest.mark.benchmark(group="examples")
+def test_figure2_example(benchmark):
+    rows = benchmark(figure2_example)
+    print()
+    print(render_example_rows(rows, "Figure 2 — LTF vs R-LTF (m = 8 and m = 10)"))
+    by_name = {r.scenario: r for r in rows}
+    # as in the paper, LTF cannot meet the throughput with 8 processors
+    assert by_name["LTF m=8"].latency is None
+    # and with enough processors R-LTF is never worse than LTF
+    assert by_name["R-LTF m=10"].latency <= by_name["LTF m=10"].latency + 1e-9

@@ -1,0 +1,51 @@
+"""Regenerate Figure 3 (ε = 1): latency bounds, crash latency, overhead.
+
+Each benchmark runs the corresponding campaign panel once per benchmark round
+and prints the regenerated series; the shape to check against the paper is
+described in EXPERIMENTS.md (R-LTF at or below LTF, latency and overhead
+decreasing as the granularity grows, 1-crash curves close to the 0-crash
+curves for ε = 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure3a, figure3b, figure3c
+from repro.experiments.reporting import render_series
+
+
+def _run(panel, config):
+    # the three panels of a figure share one cached campaign sweep; the first
+    # panel pays the cost, the next two reuse it.
+    series = panel(config)
+    print()
+    print(render_series(series))
+    return series
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3a_latency_bounds(benchmark, experiment_config):
+    series = benchmark.pedantic(_run, args=(figure3a, experiment_config), rounds=1, iterations=1)
+    assert set(series.series) == {
+        "R-LTF With 0 Crash",
+        "R-LTF UpperBound",
+        "LTF With 0 Crash",
+        "LTF UpperBound",
+    }
+    for name, values in series.series.items():
+        assert len(values) == len(series.x)
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3b_latency_with_crash(benchmark, experiment_config):
+    series = benchmark.pedantic(_run, args=(figure3b, experiment_config), rounds=1, iterations=1)
+    assert "LTF With 1 Crash" in series.series
+    assert "R-LTF With 1 Crash" in series.series
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3c_overhead(benchmark, experiment_config):
+    series = benchmark.pedantic(_run, args=(figure3c, experiment_config), rounds=1, iterations=1)
+    assert "R-LTF With 0 Crash" in series.series
+    assert "LTF With 1 Crash" in series.series

@@ -1,0 +1,41 @@
+"""Regenerate Figure 4 (ε = 3): latency bounds, crash latency (c = 2), overhead."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure4a, figure4b, figure4c
+from repro.experiments.reporting import render_series
+
+
+def _run(panel, config):
+    # the three panels of a figure share one cached campaign sweep; the first
+    # panel pays the cost, the next two reuse it.
+    series = panel(config)
+    print()
+    print(render_series(series))
+    return series
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_fig4a_latency_bounds(benchmark, experiment_config):
+    series = benchmark.pedantic(_run, args=(figure4a, experiment_config), rounds=1, iterations=1)
+    assert set(series.series) == {
+        "R-LTF With 0 Crash",
+        "R-LTF UpperBound",
+        "LTF With 0 Crash",
+        "LTF UpperBound",
+    }
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_fig4b_latency_with_crash(benchmark, experiment_config):
+    series = benchmark.pedantic(_run, args=(figure4b, experiment_config), rounds=1, iterations=1)
+    assert "LTF With 2 Crash" in series.series
+    assert "R-LTF With 2 Crash" in series.series
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_fig4c_overhead(benchmark, experiment_config):
+    series = benchmark.pedantic(_run, args=(figure4c, experiment_config), rounds=1, iterations=1)
+    assert "R-LTF With 2 Crash" in series.series

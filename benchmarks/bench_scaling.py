@@ -1,0 +1,41 @@
+"""Scaling benchmarks (S1): scheduler wall-clock time vs graph size.
+
+These complement Theorem 1's complexity bound with measured runtimes of LTF
+and R-LTF on growing random graphs, and time a single representative
+scheduling call with pytest-benchmark so regressions in the hot path show up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ltf import ltf_schedule
+from repro.core.rltf import rltf_schedule
+from repro.experiments.config import workload_period
+from repro.experiments.figures import scaling_study
+from repro.experiments.reporting import render_series
+from repro.graph.generator import random_paper_workload
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_study(benchmark, experiment_config):
+    series = benchmark.pedantic(
+        scaling_study,
+        kwargs={"sizes": (25, 50, 100), "epsilon": 1, "config": experiment_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_series(series, plot=False))
+    assert all(v >= 0 for vals in series.series.values() for v in vals)
+
+
+@pytest.mark.benchmark(group="scaling")
+@pytest.mark.parametrize("algorithm", [ltf_schedule, rltf_schedule], ids=["ltf", "rltf"])
+def test_single_schedule_runtime(benchmark, algorithm, experiment_config):
+    workload = random_paper_workload(1.0, seed=0, num_tasks=60, num_processors=20)
+    period = workload_period(workload, 1, experiment_config)
+    schedule = benchmark(
+        lambda: algorithm(workload.graph, workload.platform, period=period, epsilon=1)
+    )
+    assert schedule.is_complete()

@@ -1,0 +1,32 @@
+"""Simulation-check benchmark: the event-driven execution vs the analytic latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rltf import rltf_schedule
+from repro.experiments.config import workload_period
+from repro.failures.simulator import simulate_stream
+from repro.graph.generator import random_paper_workload
+from repro.schedule.metrics import latency_upper_bound
+from repro.utils.ascii import format_table
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_simulated_latency_vs_model(benchmark, experiment_config):
+    workload = random_paper_workload(1.5, seed=1, num_tasks=40, num_processors=12)
+    period = workload_period(workload, 1, experiment_config)
+    schedule = rltf_schedule(workload.graph, workload.platform, period=period, epsilon=1)
+
+    result = benchmark(lambda: simulate_stream(schedule, num_datasets=10))
+    rows = [
+        ["analytic upper bound", latency_upper_bound(schedule)],
+        ["simulated steady-state latency", result.steady_state_latency],
+        ["simulated worst latency", result.max_latency],
+        ["target period", schedule.period],
+        ["simulated period", result.achieved_period],
+    ]
+    print()
+    print(format_table(["quantity", "value"], rows))
+    assert result.steady_state_latency > 0
+    assert result.achieved_period <= 2.0 * schedule.period

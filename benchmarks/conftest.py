@@ -1,0 +1,33 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper at a reduced scale
+(2 random graphs per point by default — override with the environment variable
+``REPRO_BENCH_GRAPHS``), prints the regenerated series as an ASCII table, and
+uses pytest-benchmark to time the regeneration itself.  The printed rows are
+the artefact to compare against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import bench_config
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at the paper's full scale (60 graphs per point)",
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_config(request):
+    """Benchmark-scale experiment configuration (or paper scale with --paper-scale)."""
+    if request.config.getoption("--paper-scale"):
+        from repro.experiments.config import paper_config
+
+        return paper_config()
+    return bench_config()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's worked examples and a reduced version of its figures.
+
+This is the scripted equivalent of the CLI (``python -m repro ...``): it prints
+the Figure 1 / Figure 2 tables and a reduced-scale version of Figure 3(a) and
+Figure 3(c).  For the full-scale figures (60 graphs per point) use::
+
+    python -m repro figure3a --paper-scale
+
+Run with::
+
+    python examples/paper_figures.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import bench_config
+from repro.experiments.figures import figure3a, figure3c
+from repro.experiments.reporting import render_example_rows, render_series
+from repro.experiments.tables import figure1_scenarios, figure2_example
+
+
+def main() -> None:
+    print(render_example_rows(figure1_scenarios(), "Figure 1 — execution scenarios"))
+    print()
+    print(render_example_rows(figure2_example(), "Figure 2 — LTF vs R-LTF"))
+    print()
+
+    config = bench_config(num_graphs=2)
+    print(render_series(figure3a(config)))
+    print()
+    print(render_series(figure3c(config)))
+
+
+if __name__ == "__main__":
+    main()

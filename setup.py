@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works on environments whose setuptools/pip stack
+predates PEP 660 editable wheels (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

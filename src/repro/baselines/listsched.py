@@ -1,0 +1,117 @@
+"""Classical list-scheduling baselines: HEFT and ETF.
+
+* **HEFT** (Heterogeneous Earliest Finish Time, Topcuoglu et al. [9]) ranks
+  tasks by their *upward rank* (the bottom level computed with average
+  execution and communication times) and assigns each task, in rank order, to
+  the processor minimising its earliest finish time.
+* **ETF** (Earliest Task First, Hwang et al. [6]) repeatedly picks, among all
+  (ready task, processor) pairs, the pair with the earliest possible start
+  time, breaking ties by the higher bottom level.
+
+Both are makespan-oriented heuristics without replication; they are used by
+the benchmark suite as fault-free latency baselines and as building blocks of
+TDA and of the binary-search period minimiser.
+"""
+
+from __future__ import annotations
+
+from repro.graph.analysis import bottom_levels
+from repro.graph.dag import TaskGraph
+from repro.platform.platform import Platform
+from repro.schedule.schedule import PlacementPlan, Schedule, plan_placement
+
+__all__ = ["heft_schedule", "etf_schedule"]
+
+
+def _plan_on(schedule: Schedule, task: str, proc: str) -> PlacementPlan:
+    sources = {pred: schedule.replicas(pred) for pred in schedule.graph.predecessors(task)}
+    return plan_placement(schedule, task, proc, sources)
+
+
+def _best_plan(schedule: Schedule, task: str, platform: Platform) -> PlacementPlan:
+    best: PlacementPlan | None = None
+    for proc in platform.processor_names:
+        plan = _plan_on(schedule, task, proc)
+        if best is None or (plan.finish, schedule.compute_load(proc), proc) < (
+            best.finish,
+            schedule.compute_load(best.processor),
+            best.processor,
+        ):
+            best = plan
+    assert best is not None
+    return best
+
+
+def heft_schedule(
+    graph: TaskGraph,
+    platform: Platform,
+    period: float | None = None,
+    throughput: float | None = None,
+) -> Schedule:
+    """HEFT mapping of *graph* on *platform* (no replication, no throughput constraint).
+
+    The *period* argument only sets the period recorded in the returned
+    schedule (needed to convert stages into a pipelined latency); when omitted
+    it defaults to the schedule's own maximum cycle time, i.e. the best
+    throughput this mapping can sustain.
+    """
+    resolved = _resolve_reporting_period(graph, platform, period, throughput)
+    schedule = Schedule(graph, platform, resolved, epsilon=0, algorithm="heft")
+    ranks = bottom_levels(graph, platform)
+    for task in sorted(graph.task_names, key=lambda t: (-ranks[t], t)):
+        # list scheduling requires predecessors first; sorting by decreasing
+        # upward rank guarantees it on a DAG.
+        schedule.apply_placement(_best_plan(schedule, task, platform))
+    return schedule
+
+
+def etf_schedule(
+    graph: TaskGraph,
+    platform: Platform,
+    period: float | None = None,
+    throughput: float | None = None,
+) -> Schedule:
+    """ETF mapping of *graph* on *platform* (no replication)."""
+    resolved = _resolve_reporting_period(graph, platform, period, throughput)
+    schedule = Schedule(graph, platform, resolved, epsilon=0, algorithm="etf")
+    ranks = bottom_levels(graph, platform)
+    in_degree = {t: graph.in_degree(t) for t in graph.task_names}
+    ready = {t for t in graph.task_names if in_degree[t] == 0}
+    while ready:
+        best_pair: tuple[str, PlacementPlan] | None = None
+        for task in sorted(ready):
+            for proc in platform.processor_names:
+                plan = _plan_on(schedule, task, proc)
+                if best_pair is None or (plan.start, -ranks[task], plan.finish, task) < (
+                    best_pair[1].start,
+                    -ranks[best_pair[0]],
+                    best_pair[1].finish,
+                    best_pair[0],
+                ):
+                    best_pair = (task, plan)
+        assert best_pair is not None
+        task, plan = best_pair
+        schedule.apply_placement(plan)
+        ready.discard(task)
+        for succ in graph.successors(task):
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                ready.add(succ)
+    return schedule
+
+
+def _resolve_reporting_period(
+    graph: TaskGraph,
+    platform: Platform,
+    period: float | None,
+    throughput: float | None,
+) -> float:
+    if period is not None and throughput is not None:
+        raise ValueError("provide at most one of 'period' and 'throughput'")
+    if throughput is not None:
+        return 1.0 / throughput
+    if period is not None:
+        return float(period)
+    # Default: a generous period that any mapping satisfies; callers interested
+    # in a specific throughput pass it explicitly.
+    return graph.total_work / platform.min_speed + graph.total_volume / platform.min_bandwidth

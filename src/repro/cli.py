@@ -1,0 +1,122 @@
+"""Command-line front end.
+
+Examples
+--------
+Regenerate the benchmark-scale version of Figure 3(a)::
+
+    repro-streaming figure3a
+
+Regenerate Figure 4(c) at the paper's scale (60 graphs per point)::
+
+    repro-streaming figure4c --paper-scale
+
+Print the worked examples and the extra studies::
+
+    repro-streaming examples
+    repro-streaming ablations
+    repro-streaming baselines
+    repro-streaming scaling
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments import figures as fig
+from repro.experiments.config import bench_config, paper_config
+from repro.experiments.reporting import render_example_rows, render_series
+from repro.experiments.tables import figure1_scenarios, figure2_example
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES: dict[str, Callable[..., "fig.FigureSeries"]] = {
+    "figure3a": fig.figure3a,
+    "figure3b": fig.figure3b,
+    "figure3c": fig.figure3c,
+    "figure4a": fig.figure4a,
+    "figure4b": fig.figure4b,
+    "figure4c": fig.figure4c,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-streaming",
+        description=(
+            "Reproduction of 'Optimizing the Latency of Streaming Applications under "
+            "Throughput and Reliability Constraints' (Benoit, Hakem, Robert, 2009)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in _FIGURES:
+        p = sub.add_parser(name, help=f"regenerate {name} of the paper")
+        _add_scale_options(p)
+    for name, help_text in (
+        ("ablations", "ablation of Rule 1, one-to-one mapping and chunk size"),
+        ("baselines", "fault-free comparison against related-work heuristics"),
+        ("scaling", "scheduler runtime vs graph size"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        _add_scale_options(p)
+    sub.add_parser("examples", help="print the Figure 1 and Figure 2 worked examples")
+    return parser
+
+
+def _add_scale_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the full experimental scale of the paper (60 graphs per point)",
+    )
+    parser.add_argument(
+        "--graphs",
+        type=int,
+        default=None,
+        help="override the number of random graphs per point",
+    )
+    parser.add_argument(
+        "--no-plot", action="store_true", help="print only the table, no ASCII plot"
+    )
+
+
+def _config(args: argparse.Namespace):
+    config = paper_config() if args.paper_scale else bench_config()
+    if args.graphs is not None:
+        config = config.with_overrides(num_graphs=args.graphs)
+    return config
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    command = args.command
+
+    if command == "examples":
+        print(render_example_rows(figure1_scenarios(), "Figure 1 — execution scenarios"))
+        print()
+        print(render_example_rows(figure2_example(), "Figure 2 — LTF vs R-LTF"))
+        return 0
+
+    config = _config(args)
+    if command in _FIGURES:
+        series = _FIGURES[command](config)
+    elif command == "ablations":
+        series = fig.ablation_rules(config)
+    elif command == "baselines":
+        series = fig.baseline_comparison(config)
+    elif command == "scaling":
+        series = fig.scaling_study(config=config)
+    else:  # pragma: no cover - argparse enforces valid choices
+        parser.error(f"unknown command {command!r}")
+        return 2
+    print(render_series(series, plot=not args.no_plot))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,534 @@
+"""Shared greedy-mapping machinery for LTF and R-LTF.
+
+Both heuristics of the paper share the same skeleton (Algorithm 4.1):
+
+1. maintain a list ``α`` of *ready* tasks sorted by priority ``tl + bl``;
+2. repeatedly extract a *chunk* ``β`` of the ``B`` highest-priority ready
+   tasks (the *iso-level* idea inherited from Iso-Level CAFT — scheduling a
+   group of tasks of comparable priority gives a better load balance than
+   classical one-task-at-a-time list scheduling);
+3. place the ``ε+1`` replicas of every task of the chunk, replica level by
+   replica level, using either the **one-to-one mapping** procedure
+   (Algorithm 4.2) while enough independent source replicas are available, or
+   a **regular mapping** that selects the throughput-feasible processor with
+   the smallest finish time;
+4. enforce the throughput constraint — condition (1) of the paper — at every
+   placement, and fail with :class:`~repro.exceptions.ThroughputInfeasibleError`
+   when no processor can host a replica.
+
+The two heuristics differ only in the *orientation* of the traversal (LTF is
+top-down, R-LTF is bottom-up on the reversed graph) and in the
+processor-selection policy (R-LTF first tries to keep the pipeline-stage
+number constant — Rule 1 — and uses the structural Rule 2 to trigger the
+one-to-one procedure).  The :class:`MappingEngine` below implements the shared
+skeleton and delegates the per-replica decision to a policy object.
+
+Fault-tolerance bookkeeping
+---------------------------
+The paper requires that *valid results are provided even if ε processors
+fail*.  With the one-to-one mapping, a replica only receives data from one
+replica of each predecessor, so the guarantee relies on the independence of
+the ``ε+1`` "chains" feeding the replicas of a task.  The paper enforces a
+local form of this independence through *singleton* and *locked* processors;
+this implementation tracks it exactly, via **kill sets**:
+
+* a *fully-fed* replica (it receives data from **all** replicas of each
+  predecessor) is invalidated only by the failure of its own processor — its
+  kill set is ``{its processor}``;
+* a *chain-fed* replica (one source per predecessor, built by the one-to-one
+  procedure) is invalidated by the failure of any processor in
+  ``{its processor} ∪ kill-sets of its sources``.
+
+The engine maintains, for every task, the invariant that the kill sets of its
+``ε+1`` replicas are **pairwise disjoint**; any ``c ≤ ε`` failures therefore
+leave at least one valid replica of every task (see
+:func:`repro.schedule.validation.check_resilience`, which re-verifies the
+property a posteriori).  This is the transitive generalisation of the
+singleton/locked-processor rule of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Protocol, Sequence
+
+from repro.exceptions import ReplicationError, SchedulingError, ThroughputInfeasibleError
+from repro.graph.analysis import task_priorities
+from repro.graph.dag import TaskGraph
+from repro.platform.platform import Platform
+from repro.schedule.replica import Replica
+from repro.schedule.schedule import PlacementPlan, Schedule, plan_placement
+from repro.utils.checks import check_positive
+
+__all__ = [
+    "SchedulerOptions",
+    "TaskContext",
+    "MappingPolicy",
+    "MappingEngine",
+    "resolve_period",
+    "condition_one",
+]
+
+#: numerical slack on the throughput constraint (guards against FP rounding).
+_TOL = 1e-9
+
+
+def resolve_period(throughput: float | None = None, period: float | None = None) -> float:
+    """Turn a ``(throughput, period)`` pair of optional arguments into a period ``Δ``.
+
+    Exactly one of the two must be provided; the throughput ``T`` is the
+    inverse of the period.
+    """
+    if (throughput is None) == (period is None):
+        raise ValueError("provide exactly one of 'throughput' and 'period'")
+    if throughput is not None:
+        check_positive(throughput, "throughput")
+        return 1.0 / throughput
+    check_positive(period, "period")
+    return float(period)
+
+
+@dataclass
+class SchedulerOptions:
+    """Tunable knobs shared by LTF and R-LTF.
+
+    Attributes
+    ----------
+    epsilon:
+        Fault-tolerance degree ``ε`` (number of replicas is ``ε+1``).
+    chunk_size:
+        Size ``B`` of the iso-level chunk ``β``.  The paper uses ``B = m``;
+        setting it to 1 degenerates to classical one-task list scheduling
+        (used by the ablation benchmarks).
+    enable_one_to_one:
+        When False the one-to-one mapping procedure is disabled and every
+        replica is fully fed (ablation knob; the ``(ε+1)²`` communication
+        regime).
+    strict_throughput:
+        When True (default) a replica that cannot be placed without violating
+        condition (1) aborts the scheduling with
+        :class:`~repro.exceptions.ThroughputInfeasibleError` — the behaviour
+        described in the paper.  When False the least-loaded processor is used
+        instead and the violation is recorded in ``schedule.stats`` (useful for
+        the baseline heuristics and for exploratory runs).
+    strict_resilience:
+        Controls how far the fault-independence bookkeeping looks:
+
+        * ``False`` (default, the paper's behaviour): a replica placed through
+          the one-to-one procedure is considered independent of its siblings as
+          long as it avoids the *locked* processors — the processors hosting a
+          sibling replica or one of the directly consumed source replicas.
+          This is exactly the singleton/locked mechanism of Algorithm 4.2.
+        * ``True``: independence is tracked *transitively* (the full kill set
+          of every chain), the kill sets of the ``ε+1`` replicas of a task are
+          kept pairwise disjoint and bounded by ``m/(ε+1)``, which provably
+          guarantees a valid result under any ``ε`` failures — at the price of
+          more fully-fed replicas (more communications) and earlier scheduling
+          failures on tight platforms.  The ablation benchmarks compare both.
+    """
+
+    epsilon: int = 0
+    chunk_size: int | None = None
+    enable_one_to_one: bool = True
+    strict_throughput: bool = True
+    strict_resilience: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {self.epsilon}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+
+@dataclass
+class TaskContext:
+    """Per-task bookkeeping while its ``ε+1`` replicas are being placed."""
+
+    task: str
+    #: union of the kill sets of the replicas already placed for this task.
+    used_kill: set[str] = field(default_factory=set)
+    #: number of replicas already placed through the one-to-one procedure (``Z_k``).
+    one_to_one_done: int = 0
+    #: ``θ_k`` — how many replicas should go through the one-to-one procedure.
+    theta: int = 0
+    #: source replicas already consumed by one-to-one chains of this task.
+    consumed: set[Replica] = field(default_factory=set)
+
+
+class MappingPolicy(Protocol):
+    """Per-replica decision procedure plugged into the :class:`MappingEngine`."""
+
+    def choose(self, engine: "MappingEngine", task: str, ctx: TaskContext) -> PlacementPlan | None:
+        """Return the placement plan for the next replica of *task* (or ``None``
+        if no feasible processor exists)."""
+        ...  # pragma: no cover - Protocol
+
+
+def condition_one(
+    schedule: Schedule,
+    plan: PlacementPlan,
+    period: float,
+) -> bool:
+    """Condition (1) of the paper for a candidate placement.
+
+    The placement is feasible when, after adding the replica and its
+    communications, the compute load of the target processor, its incoming
+    communication load, and the outgoing communication load of every source
+    processor all remain below the period ``Δ = 1/T``.
+    """
+    state = schedule.processor_state(plan.processor)
+    if state.compute_load + plan.execution_time > period + _TOL:
+        return False
+    if state.comm_in_load + plan.incoming_comm_time > period + _TOL:
+        return False
+    for src_proc, added in plan.outgoing_comm_time_by_processor().items():
+        if schedule.processor_state(src_proc).comm_out_load + added > period + _TOL:
+            return False
+    return True
+
+
+class MappingEngine:
+    """Iso-level greedy mapper shared by LTF, R-LTF and the fault-free reference.
+
+    Parameters
+    ----------
+    graph:
+        The application graph *in the traversal orientation*: LTF passes the
+        original graph, R-LTF passes the reversed graph.
+    platform:
+        Target platform.
+    period:
+        Iteration period ``Δ`` (inverse of the desired throughput).
+    options:
+        Shared scheduling knobs (ε, chunk size, one-to-one toggle...).
+    algorithm:
+        Name recorded in the resulting schedule.
+    priorities:
+        Optional priority override; defaults to ``tl + bl`` computed on
+        *graph* and *platform*.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        platform: Platform,
+        period: float,
+        options: SchedulerOptions,
+        algorithm: str,
+        priorities: Mapping[str, float] | None = None,
+    ):
+        if options.epsilon >= platform.num_processors:
+            raise ReplicationError(
+                f"epsilon={options.epsilon} requires at least {options.epsilon + 1} processors; "
+                f"the platform only has {platform.num_processors}"
+            )
+        self.graph = graph
+        self.platform = platform
+        self.period = float(period)
+        self.options = options
+        self.schedule = Schedule(graph, platform, period, options.epsilon, algorithm)
+        self.priorities = dict(priorities) if priorities is not None else task_priorities(graph, platform)
+        self.chunk_size = options.chunk_size or platform.num_processors
+        #: kill set of every placed replica (see module docstring).
+        self.kill: dict[Replica, frozenset[str]] = {}
+        #: pipeline stage of every placed replica, in the traversal orientation.
+        self.stage: dict[Replica, int] = {}
+        self.schedule.stats.update(
+            {
+                "one_to_one_calls": 0,
+                "regular_mappings": 0,
+                "chunks": 0,
+                "relaxed_placements": 0,
+            }
+        )
+
+    # --------------------------------------------------------------- main loop
+    def run(self, policy: MappingPolicy) -> Schedule:
+        """Run the iso-level loop until every task has its ``ε+1`` replicas."""
+        graph = self.graph
+        in_degree = {t: graph.in_degree(t) for t in graph.task_names}
+        ready: list[str] = [t for t in graph.task_names if in_degree[t] == 0]
+        unscheduled = set(graph.task_names)
+
+        while unscheduled:
+            if not ready:
+                raise SchedulingError(
+                    "no ready task while some tasks are unscheduled; the graph may be cyclic"
+                )
+            beta = self._select_chunk(ready)
+            self.schedule.stats["chunks"] += 1
+            self._schedule_chunk(beta, policy)
+            for task in beta:
+                unscheduled.discard(task)
+                for succ in graph.successors(task):
+                    in_degree[succ] -= 1
+                    if in_degree[succ] == 0:
+                        ready.append(succ)
+        return self.schedule
+
+    def _select_chunk(self, ready: list[str]) -> list[str]:
+        """Extract the ``B`` highest-priority ready tasks (the head function ``H``)."""
+        ready.sort(key=lambda t: (-self.priorities[t], t))
+        chunk = ready[: self.chunk_size]
+        del ready[: self.chunk_size]
+        return chunk
+
+    def _schedule_chunk(self, beta: Sequence[str], policy: MappingPolicy) -> None:
+        contexts = {task: self._new_context(task) for task in beta}
+        for _level in range(self.options.epsilon + 1):
+            for task in beta:
+                self._place_one_replica(task, contexts[task], policy)
+
+    def _new_context(self, task: str) -> TaskContext:
+        ctx = TaskContext(task=task)
+        ctx.theta = self._compute_theta(task) if self.options.enable_one_to_one else 0
+        return ctx
+
+    def _compute_theta(self, task: str) -> int:
+        """``θ_k = min_i λ_i`` — number of replicas that should be chain-fed.
+
+        ``λ_i`` counts, for predecessor ``t_i``, how many of its replicas are
+        available as the head of an independent chain.  The paper counts the
+        replicas hosted on *singleton* processors; here the independence of the
+        chains is enforced directly by the kill-set bookkeeping of
+        :meth:`chain_source_candidates` / :meth:`plan_chain`, so ``θ`` is simply
+        the number of replicas of the scarcest predecessor — the one-to-one
+        procedure is *attempted* for every replica and falls back to a regular
+        (fully fed) mapping whenever no independent chain exists.
+        """
+        preds = self.graph.predecessors(task)
+        if not preds:
+            return 0
+        return min(len(self.schedule.replicas(pred)) for pred in preds)
+
+    # ----------------------------------------------------------- single replica
+    def _place_one_replica(self, task: str, ctx: TaskContext, policy: MappingPolicy) -> Replica:
+        plan = policy.choose(self, task, ctx)
+        if plan is None:
+            if self.options.strict_throughput:
+                raise ThroughputInfeasibleError(task, self.period)
+            plan = self._least_loaded_plan(task, ctx)
+            if plan is None:
+                raise ThroughputInfeasibleError(task, self.period)
+            self.schedule.stats["relaxed_placements"] += 1
+        replica = self.schedule.apply_placement(plan)
+        self._register(replica, plan, ctx)
+        return replica
+
+    def _register(self, replica: Replica, plan: PlacementPlan, ctx: TaskContext) -> None:
+        if plan.one_to_one:
+            kill = {plan.processor}
+            for comm in plan.comms:
+                if self.options.strict_resilience:
+                    kill |= self.kill[comm.source]
+                else:
+                    # paper semantics: only the directly involved processors
+                    # become locked for the sibling replicas.
+                    kill.add(self.schedule.processor_of(comm.source))
+            ctx.one_to_one_done += 1
+            ctx.consumed.update(c.source for c in plan.comms)
+            self.schedule.stats["one_to_one_calls"] += 1
+        else:
+            kill = {plan.processor}
+            self.schedule.stats["regular_mappings"] += 1
+        self.kill[replica] = frozenset(kill)
+        ctx.used_kill |= kill
+        self.stage[replica] = self._plan_stage(plan)
+
+    def _plan_stage(self, plan: PlacementPlan) -> int:
+        stage = 1
+        for comm in plan.comms:
+            eta = 0 if comm.duration == 0 else 1
+            stage = max(stage, self.stage[comm.source] + eta)
+        return stage
+
+    # --------------------------------------------------------------- candidates
+    def _forbidden_processors(self, task: str, ctx: TaskContext) -> set[str]:
+        """Processors that can never host the next replica of *task*: those in
+        the kill set of a sibling replica (fault-independence) — which includes
+        the processors already hosting a replica of the task."""
+        return set(ctx.used_kill)
+
+    def regular_sources(self, task: str) -> dict[str, tuple[Replica, ...]]:
+        """Full feeding: every replica of every predecessor is a source."""
+        return {pred: self.schedule.replicas(pred) for pred in self.graph.predecessors(task)}
+
+    def plan_regular(self, task: str, processor: str, ctx: TaskContext) -> PlacementPlan | None:
+        """Plan a fully-fed replica of *task* on *processor*; ``None`` if infeasible."""
+        if processor in self._forbidden_processors(task, ctx):
+            return None
+        plan = plan_placement(self.schedule, task, processor, self.regular_sources(task))
+        if not condition_one(self.schedule, plan, self.period):
+            return None
+        return plan
+
+    def plan_regular_best(
+        self,
+        task: str,
+        ctx: TaskContext,
+        candidates: Iterable[str] | None = None,
+    ) -> PlacementPlan | None:
+        """Fully-fed placement with minimum finish time over *candidates*
+        (all processors by default)."""
+        best: PlacementPlan | None = None
+        best_key: tuple | None = None
+        pool = candidates if candidates is not None else self.platform.processor_names
+        for proc in pool:
+            plan = self.plan_regular(task, proc, ctx)
+            if plan is None:
+                continue
+            key = self._plan_rank(plan)
+            if best_key is None or key < best_key:
+                best, best_key = plan, key
+        return best
+
+    def _plan_rank(self, plan: PlacementPlan) -> tuple:
+        """Ranking key for candidate plans: earliest finish first, then the
+        least-loaded processor (ties on finish time are frequent on lightly
+        loaded platforms, and spreading the load keeps later placements
+        feasible), then the processor name for determinism."""
+        return (
+            plan.finish,
+            self.schedule.compute_load(plan.processor),
+            plan.processor,
+        )
+
+    def chain_source_candidates(self, task: str, ctx: TaskContext) -> dict[str, list[Replica]]:
+        """For each predecessor of *task*, the replicas still available for a
+        new one-to-one chain (not consumed, kill set disjoint from the sibling
+        chains), sorted by finish time (the head of the sorted list is the
+        paper's ``H(B(t_i))``)."""
+        available: dict[str, list[Replica]] = {}
+        for pred in self.graph.predecessors(task):
+            reps = [
+                r
+                for r in self.schedule.replicas(pred)
+                if r not in ctx.consumed and not (self.kill[r] & ctx.used_kill)
+            ]
+            reps.sort(key=lambda r: (self.schedule.finish_time(r), r))
+            available[pred] = reps
+        return available
+
+    def plan_chain(
+        self,
+        task: str,
+        ctx: TaskContext,
+        candidates: Iterable[str] | None = None,
+        prefer_colocated: bool = True,
+    ) -> PlacementPlan | None:
+        """One-to-one mapping procedure (Algorithm 4.2).
+
+        For every candidate target processor the procedure selects one source
+        replica per predecessor — preferring a co-located source, otherwise the
+        head of the availability list — such that the kill sets of the chosen
+        sources are pairwise disjoint (and disjoint from the sibling chains),
+        simulates the placement, checks condition (1), and finally returns the
+        plan with the earliest finish time.
+        """
+        preds = self.graph.predecessors(task)
+        if not preds:
+            return None
+        available = self.chain_source_candidates(task, ctx)
+        if any(not lst for lst in available.values()):
+            return None
+        forbidden = self._forbidden_processors(task, ctx)
+        best: PlacementPlan | None = None
+        best_key: tuple | None = None
+        pool = candidates if candidates is not None else self.platform.processor_names
+        for proc in pool:
+            if proc in forbidden:
+                continue
+            sources = self._pick_chain_sources(task, available, proc, prefer_colocated)
+            if sources is None:
+                continue
+            if self.options.strict_resilience:
+                support = {proc}
+                for rep in sources.values():
+                    support |= self.kill[rep]
+                if len(support) > self.max_support_size:
+                    continue
+            plan = plan_placement(
+                self.schedule,
+                task,
+                proc,
+                {pred: [rep] for pred, rep in sources.items()},
+                one_to_one=True,
+            )
+            if not condition_one(self.schedule, plan, self.period):
+                continue
+            key = self._plan_rank(plan)
+            if best_key is None or key < best_key:
+                best, best_key = plan, key
+        return best
+
+    def _pick_chain_sources(
+        self,
+        task: str,
+        available: Mapping[str, Sequence[Replica]],
+        processor: str,
+        prefer_colocated: bool,
+    ) -> dict[str, Replica] | None:
+        """Pick one source per predecessor for a chain ending on *processor*.
+
+        Every source in *available* is already disjoint from the sibling
+        chains; sources of *different* predecessors are allowed to share
+        support (overlap only weakens nothing — the chain is invalidated by a
+        failure in the union of its sources' supports either way).  The only
+        additional constraint is the support-size cap checked by the caller.
+
+        Co-located sources are preferred (no communication, no stage change);
+        otherwise the head of the availability list is taken — the paper's
+        ``H(B(t_i))`` — except that sources hosted on a processor whose
+        out-port budget is already exhausted are skipped when an alternative
+        exists, because their outgoing communication would violate
+        condition (1) on the source side.
+        """
+        chosen: dict[str, Replica] = {}
+        for pred, reps in available.items():
+            pick: Replica | None = None
+            if prefer_colocated:
+                for rep in reps:
+                    if self.schedule.processor_of(rep) == processor:
+                        pick = rep
+                        break
+            if pick is None:
+                volume = self.graph.volume(pred, task)
+                for rep in reps:
+                    src_proc = self.schedule.processor_of(rep)
+                    duration = self.platform.communication_time(volume, src_proc, processor)
+                    if (
+                        self.schedule.processor_state(src_proc).comm_out_load + duration
+                        <= self.period + _TOL
+                    ):
+                        pick = rep
+                        break
+                if pick is None:
+                    pick = reps[0]
+            chosen[pred] = pick
+        return chosen
+
+    @property
+    def max_support_size(self) -> int:
+        """Largest allowed kill-set size of a chain-fed replica.
+
+        The kill sets of the ``ε+1`` replicas of a task must be pairwise
+        disjoint subsets of the ``m`` processors; capping each of them at
+        ``m // (ε+1)`` guarantees that the later replicas always have
+        processors left to run on.  A chain whose support would exceed the cap
+        falls back to full feeding, which resets the support to a single
+        processor (task-level induction keeps the ε-failure guarantee).
+        """
+        return max(1, self.platform.num_processors // (self.options.epsilon + 1))
+
+    # ------------------------------------------------------------------ fallback
+    def _least_loaded_plan(self, task: str, ctx: TaskContext) -> PlacementPlan | None:
+        """Non-strict fallback: fully-fed placement on the processor with the
+        smallest compute load, ignoring condition (1) (never ignores the
+        fault-independence constraints)."""
+        forbidden = self._forbidden_processors(task, ctx)
+        pool = [p for p in self.platform.processor_names if p not in forbidden]
+        pool = [p for p in pool if p not in self.schedule.processors_of_task(task)]
+        if not pool:
+            return None
+        proc = min(pool, key=lambda p: (self.schedule.compute_load(p), p))
+        return plan_placement(self.schedule, task, proc, self.regular_sources(task))

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch every failure raised by the scheduling stack with a single ``except``
+clause while still being able to distinguish the interesting cases (most
+notably :class:`ThroughputInfeasibleError`, which is how the LTF algorithm of
+the paper reports that it *fails to schedule* a workflow under the requested
+throughput).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "PlatformError",
+    "ScheduleError",
+    "SchedulingError",
+    "ThroughputInfeasibleError",
+    "ReplicationError",
+    "ValidationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed application graphs (unknown tasks, bad weights...)."""
+
+
+class CycleError(GraphError):
+    """Raised when a task graph that must be acyclic contains a cycle."""
+
+
+class PlatformError(ReproError):
+    """Raised for malformed platforms (non-positive speeds or bandwidths...)."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a :class:`~repro.schedule.schedule.Schedule` is manipulated
+    inconsistently (double mapping of a replica, unknown processor...)."""
+
+
+class SchedulingError(ReproError):
+    """Base class for errors raised *by the scheduling heuristics* themselves."""
+
+
+class ThroughputInfeasibleError(SchedulingError):
+    """Raised when no processor can host a task without violating the desired
+    throughput.
+
+    This mirrors the behaviour described in Section 4.1 of the paper: *"The
+    algorithm fails if no processor can accommodate the task because of the
+    throughput constraint."*  The exception carries the offending task name and
+    the requested period so experiment drivers can record scheduling failures.
+    """
+
+    def __init__(self, task: str, period: float, message: str | None = None):
+        self.task = task
+        self.period = period
+        if message is None:
+            message = (
+                f"no processor can accommodate task {task!r} without exceeding "
+                f"the iteration period {period:g}"
+            )
+        super().__init__(message)
+
+
+class ReplicationError(SchedulingError):
+    """Raised when the requested fault-tolerance degree cannot be honoured,
+    e.g. ``epsilon + 1`` exceeds the number of processors."""
+
+
+class ValidationError(ReproError):
+    """Raised by :mod:`repro.schedule.validation` when a schedule violates one
+    of the model invariants (replica disjointness, throughput, precedence...)."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for inconsistent configurations."""

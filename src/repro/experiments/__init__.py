@@ -1,0 +1,53 @@
+"""Experiment harness reproducing the evaluation section of the paper.
+
+* :mod:`repro.experiments.config` — the experimental parameters of Section 5
+  (and the reduced presets used by the benchmark suite);
+* :mod:`repro.experiments.campaign` — runs one (granularity, ε) point over
+  many random graphs and aggregates the metrics;
+* :mod:`repro.experiments.figures` — one function per figure panel
+  (3a, 3b, 3c, 4a, 4b, 4c) plus the ablation / baseline / scaling studies;
+* :mod:`repro.experiments.tables` — the worked examples of Figures 1 and 2;
+* :mod:`repro.experiments.reporting` — ASCII rendering of the results.
+"""
+
+from repro.experiments.config import ExperimentConfig, bench_config, paper_config, workload_period
+from repro.experiments.campaign import CampaignResult, PointResult, run_campaign, run_point
+from repro.experiments.figures import (
+    FigureSeries,
+    figure3a,
+    figure3b,
+    figure3c,
+    figure4a,
+    figure4b,
+    figure4c,
+    ablation_rules,
+    baseline_comparison,
+    scaling_study,
+)
+from repro.experiments.tables import figure1_scenarios, figure2_example
+from repro.experiments.reporting import render_series, render_point_table
+
+__all__ = [
+    "ExperimentConfig",
+    "bench_config",
+    "paper_config",
+    "workload_period",
+    "CampaignResult",
+    "PointResult",
+    "run_campaign",
+    "run_point",
+    "FigureSeries",
+    "figure3a",
+    "figure3b",
+    "figure3c",
+    "figure4a",
+    "figure4b",
+    "figure4c",
+    "ablation_rules",
+    "baseline_comparison",
+    "scaling_study",
+    "figure1_scenarios",
+    "figure2_example",
+    "render_series",
+    "render_point_table",
+]

@@ -1,0 +1,166 @@
+"""Campaign runner: one (granularity, ε) point over many random graphs.
+
+For every random graph the runner builds the LTF schedule, the R-LTF schedule
+and the fault-free reference, then records for each heuristic:
+
+* the normalized latency **upper bound** ``(2S−1)·Δ / w̄``;
+* the normalized latency with **0 crashes** (first-arrival semantics);
+* the normalized latency with **c crashes** (mean over sampled crash patterns);
+* the corresponding **fault-tolerance overheads** against the fault-free
+  latency.
+
+Instances where a heuristic fails to meet the throughput constraint are
+recorded as failures and excluded from the averages (their rate is reported).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.fault_free import fault_free_schedule
+from repro.core.ltf import ltf_schedule
+from repro.core.rltf import rltf_schedule
+from repro.exceptions import SchedulingError
+from repro.experiments.config import ExperimentConfig, workload_period
+from repro.failures.evaluation import expected_crash_latency
+from repro.graph.generator import random_paper_workload
+from repro.schedule.metrics import latency_upper_bound
+from repro.schedule.schedule import Schedule
+from repro.utils.rng import ensure_rng
+
+__all__ = ["PointResult", "CampaignResult", "run_point", "run_campaign", "ALGORITHMS"]
+
+#: the two heuristics of the paper, keyed by their display name.
+ALGORITHMS: dict[str, Callable[..., Schedule]] = {
+    "LTF": ltf_schedule,
+    "R-LTF": rltf_schedule,
+}
+
+
+@dataclass
+class PointResult:
+    """Aggregated metrics of one (granularity, ε) point."""
+
+    granularity: float
+    epsilon: int
+    crashes: tuple[int, ...]
+    #: metric name -> mean value over the successful instances.
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: algorithm -> number of instances it failed to schedule.
+    failures: dict[str, int] = field(default_factory=dict)
+    instances: int = 0
+
+    def metric(self, name: str) -> float:
+        """Mean value of a metric (NaN when no instance succeeded)."""
+        return self.metrics.get(name, float("nan"))
+
+
+@dataclass
+class CampaignResult:
+    """Results of a sweep over granularities for a fixed ε."""
+
+    epsilon: int
+    points: list[PointResult] = field(default_factory=list)
+
+    @property
+    def granularities(self) -> list[float]:
+        return [p.granularity for p in self.points]
+
+    def series(self, metric: str) -> list[float]:
+        """The values of *metric* across granularities."""
+        return [p.metric(metric) for p in self.points]
+
+    def available_metrics(self) -> list[str]:
+        names: set[str] = set()
+        for p in self.points:
+            names.update(p.metrics)
+        return sorted(names)
+
+
+def run_point(
+    granularity: float,
+    epsilon: int,
+    config: ExperimentConfig,
+    algorithms: Mapping[str, Callable[..., Schedule]] | None = None,
+) -> PointResult:
+    """Run one (granularity, ε) point of the campaign."""
+    algorithms = dict(algorithms or ALGORITHMS)
+    crashes = config.crash_counts(epsilon)
+    rng = ensure_rng(config.seed + int(round(granularity * 1000)) + 31 * epsilon)
+    accum: dict[str, list[float]] = {}
+    failures = {name: 0 for name in algorithms}
+    failures["fault-free"] = 0
+
+    for instance in range(config.num_graphs):
+        workload = random_paper_workload(
+            granularity,
+            seed=rng,
+            num_processors=config.num_processors,
+            task_range=config.task_range,
+        )
+        unit = workload.mean_task_time
+        period = workload_period(workload, epsilon, config)
+        ff_period = workload_period(workload, 0, config)
+        try:
+            ff = fault_free_schedule(workload.graph, workload.platform, period=ff_period)
+            ff_latency = latency_upper_bound(ff)
+        except SchedulingError:
+            failures["fault-free"] += 1
+            continue
+        accum.setdefault("fault-free latency", []).append(ff_latency / unit)
+
+        for name, scheduler in algorithms.items():
+            try:
+                schedule = scheduler(
+                    workload.graph,
+                    workload.platform,
+                    period=period,
+                    epsilon=epsilon,
+                    strict_resilience=config.strict_resilience,
+                )
+            except SchedulingError:
+                failures[name] += 1
+                continue
+            upper = latency_upper_bound(schedule) / unit
+            accum.setdefault(f"{name} upper bound", []).append(upper)
+            accum.setdefault(f"{name} overhead upper bound (%)", []).append(
+                100.0 * (latency_upper_bound(schedule) - ff_latency) / ff_latency
+            )
+            for c in crashes:
+                latency_c = expected_crash_latency(
+                    schedule,
+                    c,
+                    samples=config.crash_samples,
+                    seed=rng,
+                    unit=unit,
+                    on_invalid="upper_bound",
+                )
+                accum.setdefault(f"{name} with {c} crash", []).append(latency_c)
+                accum.setdefault(f"{name} overhead with {c} crash (%)", []).append(
+                    100.0 * (latency_c * unit - ff_latency) / ff_latency
+                )
+
+    metrics = {name: float(np.mean(values)) for name, values in accum.items() if values}
+    return PointResult(
+        granularity=granularity,
+        epsilon=epsilon,
+        crashes=crashes,
+        metrics=metrics,
+        failures=failures,
+        instances=config.num_graphs,
+    )
+
+
+def run_campaign(
+    epsilon: int,
+    config: ExperimentConfig,
+    algorithms: Mapping[str, Callable[..., Schedule]] | None = None,
+) -> CampaignResult:
+    """Sweep every granularity of *config* for the given ε."""
+    result = CampaignResult(epsilon=epsilon)
+    for granularity in config.granularities:
+        result.points.append(run_point(granularity, epsilon, config, algorithms))
+    return result

@@ -1,0 +1,331 @@
+"""Per-figure series generators (Figures 3 and 4 of the paper) and the extra
+studies (ablations, baseline comparison, scaling) indexed in DESIGN.md.
+
+Each ``figureXY`` function returns a :class:`FigureSeries`: the granularity
+axis plus one named series per curve of the corresponding panel.  Campaign
+results are cached per (ε, config) within the process so that the three panels
+of a figure share a single sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.baselines import BASELINES
+from repro.core.fault_free import fault_free_schedule
+from repro.core.ltf import ltf_schedule
+from repro.core.rltf import rltf_schedule
+from repro.exceptions import SchedulingError
+from repro.experiments.campaign import CampaignResult, run_campaign
+from repro.experiments.config import ExperimentConfig, bench_config, workload_period
+from repro.graph.generator import random_paper_workload
+from repro.schedule.metrics import communication_count, latency_upper_bound
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "FigureSeries",
+    "figure3a",
+    "figure3b",
+    "figure3c",
+    "figure4a",
+    "figure4b",
+    "figure4c",
+    "ablation_rules",
+    "baseline_comparison",
+    "scaling_study",
+    "clear_campaign_cache",
+]
+
+
+@dataclass
+class FigureSeries:
+    """The data behind one figure panel."""
+
+    name: str
+    x_label: str
+    x: tuple[float, ...]
+    series: dict[str, tuple[float, ...]] = field(default_factory=dict)
+    description: str = ""
+
+    def as_rows(self) -> list[list[float]]:
+        """Table rows ``[x, series1, series2, ...]`` (used by the reports)."""
+        rows = []
+        for i, xv in enumerate(self.x):
+            rows.append([xv, *[vals[i] for vals in self.series.values()]])
+        return rows
+
+
+_CAMPAIGN_CACHE: dict[tuple, CampaignResult] = {}
+
+
+def clear_campaign_cache() -> None:
+    """Drop the per-process campaign cache (used by tests)."""
+    _CAMPAIGN_CACHE.clear()
+
+
+def _campaign(epsilon: int, config: ExperimentConfig) -> CampaignResult:
+    key = (epsilon, config)
+    if key not in _CAMPAIGN_CACHE:
+        _CAMPAIGN_CACHE[key] = run_campaign(epsilon, config)
+    return _CAMPAIGN_CACHE[key]
+
+
+def _panel(
+    name: str,
+    epsilon: int,
+    metrics: Mapping[str, str],
+    config: ExperimentConfig | None,
+    description: str,
+) -> FigureSeries:
+    config = config or bench_config()
+    campaign = _campaign(epsilon, config)
+    series = {
+        label: tuple(campaign.series(metric)) for label, metric in metrics.items()
+    }
+    return FigureSeries(
+        name=name,
+        x_label="granularity",
+        x=tuple(campaign.granularities),
+        series=series,
+        description=description,
+    )
+
+
+# ------------------------------------------------------------------- Figure 3
+def figure3a(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Figure 3(a): normalized latency bounds vs granularity, ε = 1."""
+    return _panel(
+        "figure3a",
+        epsilon=1,
+        metrics={
+            "R-LTF With 0 Crash": "R-LTF with 0 crash",
+            "R-LTF UpperBound": "R-LTF upper bound",
+            "LTF With 0 Crash": "LTF with 0 crash",
+            "LTF UpperBound": "LTF upper bound",
+        },
+        config=config,
+        description="Average normalized latency (bounds), epsilon=1",
+    )
+
+
+def figure3b(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Figure 3(b): normalized latency with crashes vs granularity, ε = 1."""
+    return _panel(
+        "figure3b",
+        epsilon=1,
+        metrics={
+            "R-LTF With 0 Crash": "R-LTF with 0 crash",
+            "R-LTF With 1 Crash": "R-LTF with 1 crash",
+            "LTF With 0 Crash": "LTF with 0 crash",
+            "LTF With 1 Crash": "LTF with 1 crash",
+        },
+        config=config,
+        description="Average normalized latency with crashes, epsilon=1",
+    )
+
+
+def figure3c(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Figure 3(c): fault-tolerance overhead (%) vs granularity, ε = 1."""
+    return _panel(
+        "figure3c",
+        epsilon=1,
+        metrics={
+            "R-LTF With 0 Crash": "R-LTF overhead with 0 crash (%)",
+            "R-LTF With 1 Crash": "R-LTF overhead with 1 crash (%)",
+            "LTF With 0 Crash": "LTF overhead with 0 crash (%)",
+            "LTF With 1 Crash": "LTF overhead with 1 crash (%)",
+        },
+        config=config,
+        description="Average fault-tolerance overhead, epsilon=1",
+    )
+
+
+# ------------------------------------------------------------------- Figure 4
+def figure4a(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Figure 4(a): normalized latency bounds vs granularity, ε = 3."""
+    return _panel(
+        "figure4a",
+        epsilon=3,
+        metrics={
+            "R-LTF With 0 Crash": "R-LTF with 0 crash",
+            "R-LTF UpperBound": "R-LTF upper bound",
+            "LTF With 0 Crash": "LTF with 0 crash",
+            "LTF UpperBound": "LTF upper bound",
+        },
+        config=config,
+        description="Average normalized latency (bounds), epsilon=3",
+    )
+
+
+def figure4b(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Figure 4(b): normalized latency with c = 2 crashes vs granularity, ε = 3."""
+    return _panel(
+        "figure4b",
+        epsilon=3,
+        metrics={
+            "R-LTF With 0 Crash": "R-LTF with 0 crash",
+            "R-LTF With 2 Crash": "R-LTF with 2 crash",
+            "LTF With 0 Crash": "LTF with 0 crash",
+            "LTF With 2 Crash": "LTF with 2 crash",
+        },
+        config=config,
+        description="Average normalized latency with crashes, epsilon=3",
+    )
+
+
+def figure4c(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Figure 4(c): fault-tolerance overhead (%) vs granularity, ε = 3."""
+    return _panel(
+        "figure4c",
+        epsilon=3,
+        metrics={
+            "R-LTF With 0 Crash": "R-LTF overhead with 0 crash (%)",
+            "R-LTF With 2 Crash": "R-LTF overhead with 2 crash (%)",
+            "LTF With 0 Crash": "LTF overhead with 0 crash (%)",
+            "LTF With 2 Crash": "LTF overhead with 2 crash (%)",
+        },
+        config=config,
+        description="Average fault-tolerance overhead, epsilon=3",
+    )
+
+
+# ------------------------------------------------------------------ ablations
+def ablation_rules(
+    config: ExperimentConfig | None = None, epsilon: int = 1
+) -> FigureSeries:
+    """Ablations A1–A3: Rule 1, the one-to-one procedure, and the chunk size.
+
+    For every granularity the study reports the mean normalized latency of
+    R-LTF, R-LTF without Rule 1, LTF, LTF without the one-to-one mapping, and
+    LTF with a chunk of one task (classical list scheduling); plus the mean
+    number of remote communications of LTF with and without one-to-one.
+    """
+    config = config or bench_config()
+    variants: dict[str, Callable[..., object]] = {
+        "R-LTF": lambda g, p, period: rltf_schedule(g, p, period=period, epsilon=epsilon),
+        "R-LTF no rule1": lambda g, p, period: rltf_schedule(
+            g, p, period=period, epsilon=epsilon, enable_rule1=False
+        ),
+        "LTF": lambda g, p, period: ltf_schedule(g, p, period=period, epsilon=epsilon),
+        "LTF no one-to-one": lambda g, p, period: ltf_schedule(
+            g, p, period=period, epsilon=epsilon, enable_one_to_one=False
+        ),
+        "LTF chunk=1": lambda g, p, period: ltf_schedule(
+            g, p, period=period, epsilon=epsilon, chunk_size=1
+        ),
+    }
+    latency: dict[str, list[float]] = {name: [] for name in variants}
+    comms: dict[str, list[float]] = {"LTF": [], "LTF no one-to-one": []}
+    rng = ensure_rng(config.seed)
+    for granularity in config.granularities:
+        buckets: dict[str, list[float]] = {name: [] for name in variants}
+        comm_buckets: dict[str, list[float]] = {name: [] for name in comms}
+        for _ in range(config.num_graphs):
+            workload = random_paper_workload(
+                granularity,
+                seed=rng,
+                num_processors=config.num_processors,
+                task_range=config.task_range,
+            )
+            period = workload_period(workload, epsilon, config)
+            unit = workload.mean_task_time
+            for name, fn in variants.items():
+                try:
+                    schedule = fn(workload.graph, workload.platform, period)
+                except SchedulingError:
+                    continue
+                buckets[name].append(latency_upper_bound(schedule) / unit)
+                if name in comm_buckets:
+                    comm_buckets[name].append(float(communication_count(schedule)))
+        for name in variants:
+            latency[name].append(float(np.mean(buckets[name])) if buckets[name] else float("nan"))
+        for name in comms:
+            comms[name].append(
+                float(np.mean(comm_buckets[name])) if comm_buckets[name] else float("nan")
+            )
+    series = {f"latency {name}": tuple(vals) for name, vals in latency.items()}
+    series.update({f"remote comms {name}": tuple(vals) for name, vals in comms.items()})
+    return FigureSeries(
+        name="ablation_rules",
+        x_label="granularity",
+        x=tuple(config.granularities),
+        series=series,
+        description=f"Ablation of Rule 1, one-to-one mapping and chunk size (epsilon={epsilon})",
+    )
+
+
+def baseline_comparison(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Baseline sweep B1: fault-free latency of R-LTF vs the related-work heuristics."""
+    config = config or bench_config()
+    names = ["fault-free R-LTF", *sorted(BASELINES)]
+    latency: dict[str, list[float]] = {name: [] for name in names}
+    rng = ensure_rng(config.seed + 7)
+    for granularity in config.granularities:
+        buckets: dict[str, list[float]] = {name: [] for name in names}
+        for _ in range(config.num_graphs):
+            workload = random_paper_workload(
+                granularity,
+                seed=rng,
+                num_processors=config.num_processors,
+                task_range=config.task_range,
+            )
+            period = workload_period(workload, 0, config)
+            unit = workload.mean_task_time
+            try:
+                ff = fault_free_schedule(workload.graph, workload.platform, period=period)
+                buckets["fault-free R-LTF"].append(latency_upper_bound(ff) / unit)
+            except SchedulingError:
+                pass
+            for name in sorted(BASELINES):
+                schedule = BASELINES[name](workload.graph, workload.platform, period=period)
+                buckets[name].append(latency_upper_bound(schedule) / unit)
+        for name in names:
+            latency[name].append(float(np.mean(buckets[name])) if buckets[name] else float("nan"))
+    return FigureSeries(
+        name="baseline_comparison",
+        x_label="granularity",
+        x=tuple(config.granularities),
+        series={name: tuple(vals) for name, vals in latency.items()},
+        description="Normalized fault-free latency of R-LTF vs related-work heuristics",
+    )
+
+
+def scaling_study(
+    sizes: tuple[int, ...] = (25, 50, 100, 200),
+    epsilon: int = 1,
+    config: ExperimentConfig | None = None,
+) -> FigureSeries:
+    """Scaling study S1: scheduler wall-clock time vs number of tasks.
+
+    Complements Theorem 1 (the ``O(e·m·(ε+1)²·log(ε+1) + v·log ω)`` complexity
+    bound) with measured runtimes of both heuristics.
+    """
+    config = config or bench_config()
+    times: dict[str, list[float]] = {"LTF": [], "R-LTF": []}
+    rng = ensure_rng(config.seed + 13)
+    for size in sizes:
+        workload = random_paper_workload(
+            1.0,
+            seed=rng,
+            num_tasks=size,
+            num_processors=config.num_processors,
+        )
+        period = workload_period(workload, epsilon, config)
+        for name, fn in (("LTF", ltf_schedule), ("R-LTF", rltf_schedule)):
+            start = time.perf_counter()
+            try:
+                fn(workload.graph, workload.platform, period=period, epsilon=epsilon)
+            except SchedulingError:
+                pass
+            times[name].append(time.perf_counter() - start)
+    return FigureSeries(
+        name="scaling_study",
+        x_label="tasks",
+        x=tuple(float(s) for s in sizes),
+        series={name: tuple(vals) for name, vals in times.items()},
+        description=f"Scheduler wall-clock seconds vs graph size (epsilon={epsilon})",
+    )

@@ -1,0 +1,49 @@
+"""ASCII rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.campaign import PointResult
+from repro.experiments.figures import FigureSeries
+from repro.experiments.tables import ExampleRow
+from repro.utils.ascii import ascii_plot, format_table
+
+__all__ = ["render_series", "render_point_table", "render_example_rows"]
+
+
+def render_series(figure: FigureSeries, plot: bool = True) -> str:
+    """Render a :class:`FigureSeries` as a table (optionally with an ASCII plot)."""
+    headers = [figure.x_label, *figure.series.keys()]
+    table = format_table(headers, figure.as_rows(), title=f"{figure.name}: {figure.description}")
+    if not plot:
+        return table
+    return table + "\n\n" + ascii_plot(figure.series)
+
+
+def render_point_table(points: Sequence[PointResult]) -> str:
+    """Render raw campaign points (one row per granularity, one column per metric)."""
+    if not points:
+        return "(no data)"
+    metrics = sorted({name for p in points for name in p.metrics})
+    headers = ["granularity", *metrics]
+    rows = [[p.granularity, *[p.metric(m) for m in metrics]] for p in points]
+    return format_table(headers, rows)
+
+
+def render_example_rows(rows: Sequence[ExampleRow], title: str) -> str:
+    """Render the Figure 1 / Figure 2 example tables."""
+    headers = ["scenario", "latency", "throughput", "stages", "processors", "note"]
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row.scenario,
+                "-" if row.latency is None else f"{row.latency:.1f}",
+                "-" if row.throughput is None else f"{row.throughput:.4f}",
+                "-" if row.stages is None else str(row.stages),
+                "-" if row.processors is None else str(row.processors),
+                row.note,
+            ]
+        )
+    return format_table(headers, table_rows, title=title)

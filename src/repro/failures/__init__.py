@@ -1,0 +1,33 @@
+"""Failure model, crash evaluation and streaming execution simulation.
+
+* :mod:`repro.failures.scenarios` — generation of crash scenarios (which
+  processors fail), matching the experimental protocol of the paper
+  ("processors that fail during the schedule process are chosen uniformly");
+* :mod:`repro.failures.evaluation` — the *real* latency of a schedule under a
+  given crash pattern (effective pipeline stages over the surviving replicas);
+* :mod:`repro.failures.simulator` — an event-driven simulator of the pipelined
+  execution of consecutive data sets, with or without crashes, used to
+  validate the analytic latency model ``L = (2S−1)·Δ``.
+"""
+
+from repro.failures.scenarios import CrashScenario, sample_crash_scenarios, all_crash_scenarios
+from repro.failures.evaluation import (
+    CrashEvaluation,
+    crash_latency,
+    evaluate_crashes,
+    expected_crash_latency,
+)
+from repro.failures.simulator import StreamingSimulator, SimulationResult, simulate_stream
+
+__all__ = [
+    "CrashScenario",
+    "sample_crash_scenarios",
+    "all_crash_scenarios",
+    "CrashEvaluation",
+    "crash_latency",
+    "evaluate_crashes",
+    "expected_crash_latency",
+    "StreamingSimulator",
+    "SimulationResult",
+    "simulate_stream",
+]

@@ -1,0 +1,81 @@
+"""Crash-scenario generation.
+
+A *crash scenario* is simply the set of processors that fail (fail-silent /
+fail-stop: a failed processor produces no output and never recovers).  The
+experiments of the paper evaluate each schedule under ``c`` crashes with the
+failed processors drawn uniformly among the platform; this module provides
+both random sampling and exhaustive enumeration (used by the validation
+tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.platform import Platform
+from repro.utils.rng import ensure_rng
+
+__all__ = ["CrashScenario", "sample_crash_scenarios", "all_crash_scenarios"]
+
+
+@dataclass(frozen=True)
+class CrashScenario:
+    """A set of simultaneously failed processors."""
+
+    failed: frozenset[str]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "failed", frozenset(self.failed))
+
+    @property
+    def count(self) -> int:
+        """Number of failed processors ``c``."""
+        return len(self.failed)
+
+    def is_alive(self, processor: str) -> bool:
+        """True when *processor* did not crash."""
+        return processor not in self.failed
+
+    def alive(self, platform: Platform) -> tuple[str, ...]:
+        """The surviving processors of *platform*."""
+        return tuple(p for p in platform.processor_names if p not in self.failed)
+
+    def __repr__(self) -> str:
+        return f"CrashScenario({sorted(self.failed)})"
+
+
+def sample_crash_scenarios(
+    platform: Platform,
+    crashes: int,
+    count: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> list[CrashScenario]:
+    """Draw *count* scenarios of *crashes* distinct processors chosen uniformly."""
+    if crashes < 0:
+        raise ValueError(f"crashes must be >= 0, got {crashes}")
+    if crashes > platform.num_processors:
+        raise ValueError(
+            f"cannot crash {crashes} processors on a platform of {platform.num_processors}"
+        )
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = ensure_rng(seed)
+    names = platform.processor_names
+    scenarios = []
+    for _ in range(count):
+        idx = rng.choice(len(names), size=crashes, replace=False)
+        scenarios.append(CrashScenario(frozenset(names[i] for i in idx)))
+    return scenarios
+
+
+def all_crash_scenarios(platform: Platform, crashes: int) -> list[CrashScenario]:
+    """Every scenario of exactly *crashes* failed processors (use with care)."""
+    if crashes < 0 or crashes > platform.num_processors:
+        raise ValueError(f"invalid number of crashes {crashes}")
+    return [
+        CrashScenario(frozenset(combo))
+        for combo in itertools.combinations(platform.processor_names, crashes)
+    ]

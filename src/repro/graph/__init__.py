@@ -1,0 +1,67 @@
+"""Application-graph substrate.
+
+A streaming application is modelled as a weighted Directed Acyclic Graph
+(Section 2 of the paper): nodes are tasks with a computation *work* amount,
+edges carry a communication *volume*.  This package provides:
+
+* :class:`~repro.graph.task.Task` and :class:`~repro.graph.dag.TaskGraph` — the
+  DAG data model;
+* :mod:`repro.graph.analysis` — top/bottom levels, priorities, width,
+  granularity and critical-path helpers;
+* :mod:`repro.graph.generator` — random layered DAGs (the paper's synthetic
+  workloads), series-parallel graphs, chains, forks and joins;
+* :mod:`repro.graph.examples` — the worked examples of the paper (Figures 1
+  and 2) and realistic streaming workflows used by the example applications.
+"""
+
+from repro.graph.task import Task
+from repro.graph.dag import TaskGraph
+from repro.graph.analysis import (
+    bottom_levels,
+    top_levels,
+    task_priorities,
+    graph_width,
+    granularity,
+    critical_path,
+    critical_path_length,
+)
+from repro.graph.generator import (
+    LayeredDagConfig,
+    random_layered_dag,
+    random_series_parallel,
+    chain_graph,
+    fork_join_graph,
+    random_paper_workload,
+)
+from repro.graph.examples import (
+    figure1_graph,
+    figure2_graph,
+    video_encoding_pipeline,
+    dsp_filter_bank,
+    map_reduce_graph,
+    sensor_fusion_graph,
+)
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "bottom_levels",
+    "top_levels",
+    "task_priorities",
+    "graph_width",
+    "granularity",
+    "critical_path",
+    "critical_path_length",
+    "LayeredDagConfig",
+    "random_layered_dag",
+    "random_series_parallel",
+    "chain_graph",
+    "fork_join_graph",
+    "random_paper_workload",
+    "figure1_graph",
+    "figure2_graph",
+    "video_encoding_pipeline",
+    "dsp_filter_bank",
+    "map_reduce_graph",
+    "sensor_fusion_graph",
+]

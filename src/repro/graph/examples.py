@@ -1,0 +1,191 @@
+"""Example workflows.
+
+Two families of graphs are provided:
+
+1. The worked examples of the paper — :func:`figure1_graph` (the 4-task
+   diamond used in the introduction to contrast task / data / pipelined
+   parallelism) and :func:`figure2_graph` (the 7-task workflow of Section 4.3
+   used to compare LTF and R-LTF step by step).  The figure itself is not part
+   of the archived text, so the edge structure of Figure 2 is reconstructed
+   from the scheduling trace given in the prose (which tasks become ready at
+   which step of each heuristic); see the module tests for the consistency
+   checks.
+
+2. Realistic streaming applications used by the example scripts and the
+   integration tests: a video encoding pipeline, a DSP filter bank, a
+   map-reduce-style aggregation and a sensor-fusion workflow.  These mirror
+   the application classes the paper's introduction motivates (video/audio
+   encoding, DSP applications).
+"""
+
+from __future__ import annotations
+
+from repro.graph.dag import TaskGraph
+from repro.graph.task import Task
+
+__all__ = [
+    "figure1_graph",
+    "figure2_graph",
+    "video_encoding_pipeline",
+    "dsp_filter_bank",
+    "map_reduce_graph",
+    "sensor_fusion_graph",
+]
+
+
+def figure1_graph() -> TaskGraph:
+    """The 4-task diamond of Figure 1(a).
+
+    All task computation times equal 15 and every edge carries a communication
+    volume of 2.  Executed on the platform of
+    :func:`repro.platform.builders.figure1_platform`.
+    """
+    works = {"t1": 15.0, "t2": 15.0, "t3": 15.0, "t4": 15.0}
+    edges = [
+        ("t1", "t2", 2.0),
+        ("t1", "t3", 2.0),
+        ("t2", "t4", 2.0),
+        ("t3", "t4", 2.0),
+    ]
+    return TaskGraph.from_edges(works, edges, name="figure1")
+
+
+def figure2_graph() -> TaskGraph:
+    """The 7-task workflow of Figure 2(a) (Section 4.3 example).
+
+    Execution times: ``E(t1) = E(t7) = 15``, ``E(t3) = 20``,
+    ``E(t2) = E(t6) = 6``, ``E(t4) = E(t5) = 5``; every edge costs 2 time units
+    per data item.  The edge structure is reconstructed from the LTF / R-LTF
+    scheduling traces of Section 4.3:
+
+    * LTF (top-down) readiness order: ``{t1} → {t2, t3} → {t4, t5} → {t6} → {t7}``;
+    * R-LTF (bottom-up) readiness order: ``{t7} → {t3, t6} → {t4, t5} → {t2} → {t1}``.
+    """
+    works = {
+        "t1": 15.0,
+        "t2": 6.0,
+        "t3": 20.0,
+        "t4": 5.0,
+        "t5": 5.0,
+        "t6": 6.0,
+        "t7": 15.0,
+    }
+    edges = [
+        ("t1", "t2", 2.0),
+        ("t1", "t3", 2.0),
+        ("t3", "t4", 2.0),
+        ("t3", "t5", 2.0),
+        ("t2", "t6", 2.0),
+        ("t4", "t6", 2.0),
+        ("t5", "t6", 2.0),
+        ("t6", "t7", 2.0),
+        ("t3", "t7", 2.0),
+    ]
+    return TaskGraph.from_edges(works, edges, name="figure2")
+
+
+def video_encoding_pipeline(frames_per_block: int = 4) -> TaskGraph:
+    """A realistic video-encoding workflow.
+
+    Stream structure: capture → demux → per-block motion estimation (parallel
+    fan-out over ``frames_per_block`` macro-block groups) → DCT/quantization →
+    entropy coding → mux.  Works and volumes are loosely calibrated on a
+    software H.264-class encoder (motion estimation dominates computation,
+    raw frames dominate communication).
+    """
+    if frames_per_block < 1:
+        raise ValueError(f"frames_per_block must be >= 1, got {frames_per_block}")
+    graph = TaskGraph("video-encoding")
+    graph.add_task(Task("capture", 40.0, {"kind": "io"}))
+    graph.add_task(Task("demux", 25.0, {"kind": "parse"}))
+    graph.add_edge("capture", "demux", 200.0)
+    graph.add_task(Task("rate_control", 30.0, {"kind": "control"}))
+    graph.add_edge("demux", "rate_control", 20.0)
+    graph.add_task(Task("entropy_coding", 120.0, {"kind": "vlc"}))
+    graph.add_task(Task("mux", 35.0, {"kind": "io"}))
+    for b in range(frames_per_block):
+        me = f"motion_estimation_{b + 1}"
+        dct = f"dct_quant_{b + 1}"
+        graph.add_task(Task(me, 300.0, {"kind": "search"}))
+        graph.add_task(Task(dct, 150.0, {"kind": "transform"}))
+        graph.add_edge("demux", me, 180.0)
+        graph.add_edge("rate_control", me, 10.0)
+        graph.add_edge(me, dct, 90.0)
+        graph.add_edge(dct, "entropy_coding", 60.0)
+    graph.add_edge("entropy_coding", "mux", 50.0)
+    return graph
+
+
+def dsp_filter_bank(channels: int = 6, taps: int = 3) -> TaskGraph:
+    """A polyphase DSP filter bank: split → per-channel FIR cascade → recombine.
+
+    Each channel is a small chain of ``taps`` FIR stages; the final synthesis
+    task recombines all channels.  This is the archetypal "DSP application"
+    workload the paper cites ([5]).
+    """
+    if channels < 1 or taps < 1:
+        raise ValueError("channels and taps must both be >= 1")
+    graph = TaskGraph("dsp-filter-bank")
+    graph.add_task(Task("adc", 20.0, {"kind": "io"}))
+    graph.add_task(Task("analysis_fft", 160.0, {"kind": "fft"}))
+    graph.add_edge("adc", "analysis_fft", 128.0)
+    graph.add_task(Task("synthesis_ifft", 160.0, {"kind": "fft"}))
+    graph.add_task(Task("dac", 20.0, {"kind": "io"}))
+    for c in range(channels):
+        prev = "analysis_fft"
+        prev_vol = 64.0
+        for k in range(taps):
+            fir = f"fir_c{c + 1}_s{k + 1}"
+            graph.add_task(Task(fir, 80.0, {"kind": "fir", "channel": c + 1}))
+            graph.add_edge(prev, fir, prev_vol)
+            prev, prev_vol = fir, 64.0
+        graph.add_edge(prev, "synthesis_ifft", 64.0)
+    graph.add_edge("synthesis_ifft", "dac", 128.0)
+    return graph
+
+
+def map_reduce_graph(mappers: int = 8, reducers: int = 3) -> TaskGraph:
+    """A streaming map-reduce aggregation: split → mappers → shuffle → reducers → merge."""
+    if mappers < 1 or reducers < 1:
+        raise ValueError("mappers and reducers must both be >= 1")
+    graph = TaskGraph("map-reduce")
+    graph.add_task(Task("split", 30.0))
+    graph.add_task(Task("merge", 40.0))
+    reducer_names = []
+    for r in range(reducers):
+        red = f"reduce_{r + 1}"
+        graph.add_task(Task(red, 110.0))
+        graph.add_edge(red, "merge", 30.0)
+        reducer_names.append(red)
+    for m in range(mappers):
+        mapper = f"map_{m + 1}"
+        graph.add_task(Task(mapper, 140.0))
+        graph.add_edge("split", mapper, 100.0)
+        for red in reducer_names:
+            graph.add_edge(mapper, red, 25.0)
+    return graph
+
+
+def sensor_fusion_graph(sensors: int = 5) -> TaskGraph:
+    """A sensor-fusion workflow (e.g. autonomous-driving perception):
+    per-sensor preprocessing and feature extraction, fused by a tracker and a
+    planner — a latency-critical streaming application with a reliability
+    requirement, i.e. exactly the tri-criteria setting of the paper."""
+    if sensors < 1:
+        raise ValueError(f"sensors must be >= 1, got {sensors}")
+    graph = TaskGraph("sensor-fusion")
+    graph.add_task(Task("sync", 25.0))
+    graph.add_task(Task("fusion", 180.0))
+    graph.add_task(Task("tracker", 120.0))
+    graph.add_task(Task("planner", 90.0))
+    graph.add_edge("fusion", "tracker", 40.0)
+    graph.add_edge("tracker", "planner", 30.0)
+    for s in range(sensors):
+        pre = f"preprocess_{s + 1}"
+        feat = f"features_{s + 1}"
+        graph.add_task(Task(pre, 60.0))
+        graph.add_task(Task(feat, 130.0))
+        graph.add_edge("sync", pre, 90.0)
+        graph.add_edge(pre, feat, 70.0)
+        graph.add_edge(feat, "fusion", 35.0)
+    return graph

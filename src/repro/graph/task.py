@@ -1,0 +1,50 @@
+"""The :class:`Task` node of an application graph.
+
+A task carries an abstract amount of *work* ``E(t)``.  Its execution time on a
+processor of speed ``s`` is ``E(t) / s`` (heterogeneous related-machines
+model), which is how the paper accounts for processor heterogeneity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.utils.checks import check_positive
+
+__all__ = ["Task"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A node of the application DAG.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the task within its graph.
+    work:
+        Computation amount ``E(t)`` (strictly positive).  The execution time on
+        processor ``P_u`` of speed ``s_u`` is ``work / s_u``.
+    attributes:
+        Optional free-form metadata (e.g. the kernel name of a video filter);
+        never interpreted by the schedulers.
+    """
+
+    name: str
+    work: float
+    attributes: Mapping[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"task name must be a non-empty string, got {self.name!r}")
+        check_positive(self.work, f"work of task {self.name!r}")
+        object.__setattr__(self, "work", float(self.work))
+
+    def execution_time(self, speed: float) -> float:
+        """Execution time of the task on a processor of the given *speed*."""
+        check_positive(speed, "speed")
+        return self.work / speed
+
+    def __repr__(self) -> str:
+        return f"Task({self.name!r}, work={self.work:g})"

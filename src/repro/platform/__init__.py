@@ -1,0 +1,28 @@
+"""Heterogeneous target-platform substrate.
+
+The paper targets ``m`` fully-interconnected heterogeneous processors.
+Processor ``P_u`` has speed ``s_u``; the link ``l_kh`` between ``P_k`` and
+``P_h`` has bandwidth ``d_kh`` (if the route is made of several physical links,
+the bandwidth of the slowest one is retained).  Communications obey the
+bi-directional one-port model with full computation/communication overlap.
+"""
+
+from repro.platform.processor import Processor
+from repro.platform.platform import Platform
+from repro.platform.builders import (
+    homogeneous_platform,
+    heterogeneous_platform,
+    paper_platform,
+    figure1_platform,
+    figure2_platform,
+)
+
+__all__ = [
+    "Processor",
+    "Platform",
+    "homogeneous_platform",
+    "heterogeneous_platform",
+    "paper_platform",
+    "figure1_platform",
+    "figure2_platform",
+]

@@ -1,0 +1,95 @@
+"""Platform factory helpers.
+
+These functions build the platforms used throughout the paper:
+
+* :func:`figure1_platform` — the 4-processor example of Section 1;
+* :func:`figure2_platform` — the 8/10-processor homogeneous network of Section 4.3;
+* :func:`paper_platform` — the 20-processor heterogeneous platform of the
+  experimental section, with link unit message delays drawn uniformly in
+  ``[0.5, 1]`` (i.e. bandwidths in ``[1, 2]`` data units per time unit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platform.platform import Platform
+from repro.platform.processor import Processor
+from repro.utils.checks import check_positive
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "homogeneous_platform",
+    "heterogeneous_platform",
+    "paper_platform",
+    "figure1_platform",
+    "figure2_platform",
+]
+
+
+def homogeneous_platform(m: int, speed: float = 1.0, bandwidth: float = 1.0) -> Platform:
+    """A platform of *m* identical processors with identical links."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    check_positive(speed, "speed")
+    check_positive(bandwidth, "bandwidth")
+    procs = [Processor(f"P{i + 1}", speed) for i in range(m)]
+    return Platform(procs, bandwidths=bandwidth)
+
+
+def heterogeneous_platform(
+    m: int,
+    speed_range: tuple[float, float] = (0.5, 1.0),
+    delay_range: tuple[float, float] = (0.5, 1.0),
+    seed: int | np.random.Generator | None = None,
+) -> Platform:
+    """A random heterogeneous platform.
+
+    Processor speeds are drawn uniformly from *speed_range*.  Link **unit
+    message delays** (time to send one data unit, i.e. ``1/bandwidth``) are
+    drawn uniformly from *delay_range*, matching the experimental setup of the
+    paper ("the unit message delay of the links ... chosen uniformly from
+    [0.5, 1]").  Links are symmetric.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    lo_s, hi_s = speed_range
+    lo_d, hi_d = delay_range
+    check_positive(lo_s, "speed_range low")
+    check_positive(lo_d, "delay_range low")
+    if hi_s < lo_s or hi_d < lo_d:
+        raise ValueError("ranges must be (low, high) with low <= high")
+    rng = ensure_rng(seed)
+    procs = [Processor(f"P{i + 1}", float(rng.uniform(lo_s, hi_s))) for i in range(m)]
+    platform = Platform(procs, default_bandwidth=1.0)
+    names = platform.processor_names
+    for i, src in enumerate(names):
+        for dst in names[i + 1 :]:
+            delay = float(rng.uniform(lo_d, hi_d))
+            platform.set_bandwidth(src, dst, 1.0 / delay, symmetric=True)
+    return platform
+
+
+def paper_platform(seed: int | np.random.Generator | None = None, m: int = 20) -> Platform:
+    """The experimental platform of Section 5: 20 heterogeneous processors,
+    unit message delays in ``[0.5, 1]``, processor speeds in ``[0.5, 1]``."""
+    return heterogeneous_platform(m, speed_range=(0.5, 1.0), delay_range=(0.5, 1.0), seed=seed)
+
+
+def figure1_platform() -> Platform:
+    """The 4-processor platform of the introduction example: ``s1 = s3 = 1.5``,
+    ``s2 = s4 = 1``, all links of unit bandwidth."""
+    procs = [
+        Processor("P1", 1.5),
+        Processor("P2", 1.0),
+        Processor("P3", 1.5),
+        Processor("P4", 1.0),
+    ]
+    return Platform(procs, bandwidths=1.0)
+
+
+def figure2_platform(m: int = 8) -> Platform:
+    """The fully homogeneous network of the Section 4.3 example (speed 1,
+    unit bandwidth); ``m`` defaults to 8 and is set to 10 to show where LTF
+    eventually succeeds."""
+    return homogeneous_platform(m, speed=1.0, bandwidth=1.0)

@@ -1,0 +1,198 @@
+"""The :class:`Platform`: a set of processors fully interconnected by links.
+
+Bandwidths are stored per ordered processor pair; by default the platform is
+symmetric (``d_kh = d_hk``), which matches the paper's model, but asymmetric
+links are supported because nothing in the algorithms depends on symmetry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import PlatformError
+from repro.platform.processor import Processor
+from repro.utils.checks import check_positive
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """A fully-connected heterogeneous platform.
+
+    Parameters
+    ----------
+    processors:
+        The processors ``P_1 … P_m`` (at least one; names must be unique).
+    bandwidths:
+        Either a single float (uniform bandwidth for every link), or a mapping
+        ``{(src_name, dst_name): bandwidth}``.  Missing pairs default to
+        ``default_bandwidth``.  Bandwidth between a processor and itself is
+        irrelevant (local communications are free) and ignored.
+    default_bandwidth:
+        Bandwidth used for pairs absent from *bandwidths*.
+    """
+
+    def __init__(
+        self,
+        processors: Sequence[Processor],
+        bandwidths: float | Mapping[tuple[str, str], float] | None = None,
+        default_bandwidth: float = 1.0,
+    ):
+        processors = list(processors)
+        if not processors:
+            raise PlatformError("a platform needs at least one processor")
+        names = [p.name for p in processors]
+        if len(set(names)) != len(names):
+            raise PlatformError(f"duplicate processor names: {names}")
+        self._processors: dict[str, Processor] = {p.name: p for p in processors}
+        self._order: tuple[str, ...] = tuple(names)
+        check_positive(default_bandwidth, "default_bandwidth")
+        self._default_bandwidth = float(default_bandwidth)
+        self._bandwidths: dict[tuple[str, str], float] = {}
+
+        if bandwidths is None:
+            pass
+        elif isinstance(bandwidths, (int, float)):
+            check_positive(float(bandwidths), "bandwidth")
+            self._default_bandwidth = float(bandwidths)
+        else:
+            for (src, dst), bw in bandwidths.items():
+                self.set_bandwidth(src, dst, bw)
+
+    # ---------------------------------------------------------------- accessors
+    @property
+    def num_processors(self) -> int:
+        """``m`` — number of processors."""
+        return len(self._order)
+
+    @property
+    def processor_names(self) -> tuple[str, ...]:
+        """Processor names in declaration order."""
+        return self._order
+
+    @property
+    def processors(self) -> tuple[Processor, ...]:
+        """Processor objects in declaration order."""
+        return tuple(self._processors[n] for n in self._order)
+
+    def processor(self, name: str) -> Processor:
+        """Return the processor called *name*."""
+        try:
+            return self._processors[name]
+        except KeyError:
+            raise PlatformError(f"unknown processor {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._processors
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Processor]:
+        return iter(self.processors)
+
+    def speed(self, name: str) -> float:
+        """Speed ``s_u`` of processor *name*."""
+        return self.processor(name).speed
+
+    # --------------------------------------------------------------- bandwidths
+    def set_bandwidth(self, src: str, dst: str, bandwidth: float, symmetric: bool = True) -> None:
+        """Set the bandwidth of link ``l_{src,dst}`` (and the reverse link if *symmetric*)."""
+        self.processor(src)
+        self.processor(dst)
+        if src == dst:
+            return
+        check_positive(bandwidth, f"bandwidth of link {src!r}->{dst!r}")
+        self._bandwidths[(src, dst)] = float(bandwidth)
+        if symmetric:
+            self._bandwidths[(dst, src)] = float(bandwidth)
+
+    def bandwidth(self, src: str, dst: str) -> float:
+        """Bandwidth ``d_kh`` of the link from *src* to *dst*.
+
+        Local "links" (``src == dst``) report infinite bandwidth, consistent
+        with communications between co-located tasks being free.
+        """
+        self.processor(src)
+        self.processor(dst)
+        if src == dst:
+            return float("inf")
+        return self._bandwidths.get((src, dst), self._default_bandwidth)
+
+    # -------------------------------------------------------------------- costs
+    def execution_time(self, work: float, processor: str) -> float:
+        """Execution time of *work* units on *processor*."""
+        return self.processor(processor).execution_time(work)
+
+    def communication_time(self, volume: float, src: str, dst: str) -> float:
+        """Transfer time of *volume* data units from *src* to *dst* (0 when co-located)."""
+        check_positive(volume, "volume")
+        if src == dst:
+            return 0.0
+        return volume / self.bandwidth(src, dst)
+
+    # ------------------------------------------------------------ aggregate stats
+    @property
+    def speeds(self) -> np.ndarray:
+        """Vector of processor speeds in declaration order."""
+        return np.array([self._processors[n].speed for n in self._order], dtype=float)
+
+    @property
+    def min_speed(self) -> float:
+        """Speed of the slowest processor."""
+        return float(self.speeds.min())
+
+    @property
+    def max_speed(self) -> float:
+        """Speed of the fastest processor."""
+        return float(self.speeds.max())
+
+    @property
+    def mean_inverse_speed(self) -> float:
+        """Average of ``1/s_u`` — used for average execution times in priorities."""
+        return float((1.0 / self.speeds).mean())
+
+    def _all_bandwidths(self) -> np.ndarray:
+        vals = []
+        for src in self._order:
+            for dst in self._order:
+                if src != dst:
+                    vals.append(self.bandwidth(src, dst))
+        return np.array(vals, dtype=float) if vals else np.array([self._default_bandwidth])
+
+    @property
+    def min_bandwidth(self) -> float:
+        """Bandwidth of the slowest link."""
+        return float(self._all_bandwidths().min())
+
+    @property
+    def mean_inverse_bandwidth(self) -> float:
+        """Average of ``1/d_kh`` over distinct pairs — used for average communication times."""
+        return float((1.0 / self._all_bandwidths()).mean())
+
+    @property
+    def fastest_processor(self) -> str:
+        """Name of (one of) the fastest processors."""
+        return max(self._order, key=lambda n: (self._processors[n].speed, n))
+
+    def mean_execution_time(self, work: float) -> float:
+        """Average over processors of the execution time of *work* units."""
+        check_positive(work, "work")
+        return work * self.mean_inverse_speed
+
+    # ------------------------------------------------------------------ helpers
+    def subset(self, names: Iterable[str]) -> "Platform":
+        """A new platform restricted to *names* (bandwidths are preserved)."""
+        names = list(names)
+        procs = [self.processor(n) for n in names]
+        sub = Platform(procs, default_bandwidth=self._default_bandwidth)
+        for src in names:
+            for dst in names:
+                if src != dst and (src, dst) in self._bandwidths:
+                    sub.set_bandwidth(src, dst, self._bandwidths[(src, dst)], symmetric=False)
+        return sub
+
+    def __repr__(self) -> str:
+        return f"Platform(m={self.num_processors}, speeds=[{self.min_speed:g}..{self.max_speed:g}])"

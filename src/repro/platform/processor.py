@@ -1,0 +1,40 @@
+"""The :class:`Processor` resource."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.checks import check_positive
+
+__all__ = ["Processor"]
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A processor of the target platform.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier (e.g. ``"P1"``).
+    speed:
+        Relative speed ``s_u`` (strictly positive).  A task of work ``E(t)``
+        executes in ``E(t) / speed`` time units on this processor.
+    """
+
+    name: str
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"processor name must be a non-empty string, got {self.name!r}")
+        check_positive(self.speed, f"speed of processor {self.name!r}")
+        object.__setattr__(self, "speed", float(self.speed))
+
+    def execution_time(self, work: float) -> float:
+        """Time to execute *work* units of computation on this processor."""
+        check_positive(work, "work")
+        return work / self.speed
+
+    def __repr__(self) -> str:
+        return f"Processor({self.name!r}, speed={self.speed:g})"

@@ -1,0 +1,56 @@
+"""Replicated pipelined-schedule substrate.
+
+This package holds everything a scheduling heuristic produces and everything
+the evaluation consumes:
+
+* :class:`~repro.schedule.replica.Replica` — one of the ``ε+1`` copies of a task;
+* :class:`~repro.schedule.ports.ProcessorTimelines` — the one-port model state
+  of a processor (compute, in-port and out-port busy intervals plus the
+  steady-state loads ``Σ_u``, ``C^I_u``, ``C^O_u``);
+* :class:`~repro.schedule.schedule.Schedule` — the mapping, the communication
+  topology between replicas and the timing of one instance of the stream;
+* :mod:`repro.schedule.stages` — pipeline-stage computation;
+* :mod:`repro.schedule.metrics` — latency ``L = (2S-1)·Δ``, throughput,
+  utilizations, communication counts and fault-tolerance overhead;
+* :mod:`repro.schedule.validation` — invariant checks used by the test-suite
+  and by cautious callers.
+"""
+
+from repro.schedule.replica import Replica, replica_name
+from repro.schedule.ports import ProcessorTimelines
+from repro.schedule.schedule import Schedule, CommEvent, PlacementPlan, plan_placement
+from repro.schedule.stages import compute_stages, num_stages, stage_of_task
+from repro.schedule.metrics import (
+    latency_upper_bound,
+    normalized_latency,
+    throughput,
+    processor_utilization,
+    communication_count,
+    fault_tolerance_overhead,
+    ScheduleMetrics,
+    collect_metrics,
+)
+from repro.schedule.validation import validate_schedule, check_resilience
+
+__all__ = [
+    "Replica",
+    "replica_name",
+    "ProcessorTimelines",
+    "Schedule",
+    "CommEvent",
+    "PlacementPlan",
+    "plan_placement",
+    "compute_stages",
+    "num_stages",
+    "stage_of_task",
+    "latency_upper_bound",
+    "normalized_latency",
+    "throughput",
+    "processor_utilization",
+    "communication_count",
+    "fault_tolerance_overhead",
+    "ScheduleMetrics",
+    "collect_metrics",
+    "validate_schedule",
+    "check_resilience",
+]

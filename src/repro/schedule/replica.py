@@ -1,0 +1,28 @@
+"""Task replicas.
+
+With a fault-tolerance degree ``ε`` the active-replication scheme executes
+``ε + 1`` copies (replicas) of every task on pairwise distinct processors.  The
+paper writes ``t^{(N)}`` for the ``N``-th replica of task ``t`` and ``B(t)``
+for the set of all its replicas.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["Replica", "replica_name"]
+
+
+class Replica(NamedTuple):
+    """The ``index``-th copy of task ``task`` (1-based, ``1 <= index <= ε+1``)."""
+
+    task: str
+    index: int
+
+    def __repr__(self) -> str:
+        return f"{self.task}({self.index})"
+
+
+def replica_name(replica: Replica) -> str:
+    """Human-readable name of a replica, e.g. ``"t3(2)"``."""
+    return f"{replica.task}({replica.index})"

@@ -1,0 +1,133 @@
+"""Pipeline-stage computation.
+
+The latency model of the paper (borrowed from Hary & Özgüner) partitions the
+replicas into *pipeline stages*: entry replicas are in stage 1, and the stage
+of any other replica is ``S = max(S_source + η)`` over the predecessor replicas
+it actually communicates with, where ``η = 0`` when source and destination run
+on the same processor and ``η = 1`` otherwise.  Stages therefore count the
+processor changes along dependence paths.  With ``S`` stages and a period
+``Δ = 1/T``, the pipelined latency is ``L = (2S − 1)·Δ``: each stage accounts
+for one period of computation and one period of inter-stage communication,
+except the last one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.exceptions import ScheduleError
+from repro.schedule.replica import Replica
+from repro.schedule.schedule import Schedule
+
+__all__ = ["compute_stages", "num_stages", "stage_of_task", "stages_by_processor"]
+
+
+def compute_stages(
+    schedule: Schedule,
+    alive_only: Iterable[str] | None = None,
+) -> dict[Replica, int]:
+    """Pipeline stage ``S(t^{(N)})`` of every placed replica.
+
+    Parameters
+    ----------
+    schedule:
+        A (complete or partial) schedule.  Replicas are processed in the
+        topological order of their tasks, so every communication source is
+        guaranteed to have been assigned a stage first.
+    alive_only:
+        Optional collection of *alive* processors.  When given, replicas on
+        dead processors are skipped and, for each predecessor task, the stage
+        recursion keeps the **minimum** over the surviving sources
+        (first-arrival semantics of active replication).  This is how the crash
+        evaluation recomputes the *real* number of stages after failures.
+
+    Returns
+    -------
+    dict
+        Mapping from replica to its 1-based stage number.  With ``alive_only``,
+        replicas that are dead or left without any surviving source for one of
+        their predecessors are absent from the mapping (they never produce a
+        valid result).
+    """
+    alive = None if alive_only is None else set(alive_only)
+    stages: dict[Replica, int] = {}
+    for task in schedule.graph.topological_order():
+        for replica in schedule.replicas(task):
+            proc = schedule.processor_of(replica)
+            if alive is not None and proc not in alive:
+                continue
+            sources = schedule.sources_of(replica)
+            preds = schedule.graph.predecessors(task)
+            if not preds:
+                stages[replica] = 1
+                continue
+            stage = 1
+            valid = True
+            for pred in preds:
+                srcs = sources.get(pred, ())
+                candidates = []
+                for src in srcs:
+                    if src not in stages:
+                        continue  # dead or invalid source
+                    eta = 0 if schedule.processor_of(src) == proc else 1
+                    candidates.append(stages[src] + eta)
+                if not candidates:
+                    valid = False
+                    break
+                # Without failures every recorded source is waited for (max);
+                # under failures the replica proceeds on the first valid input
+                # per predecessor (min over the surviving sources).
+                contribution = min(candidates) if alive is not None else max(candidates)
+                stage = max(stage, contribution)
+            if valid:
+                stages[replica] = stage
+    return stages
+
+
+def num_stages(schedule: Schedule, alive_only: Iterable[str] | None = None) -> int:
+    """Total number of pipeline stages ``S`` of the schedule.
+
+    Without failures this is the maximum stage over all replicas.  With a set
+    of alive processors it is the maximum over exit tasks of the stage of their
+    *best surviving* replica (the stream result is available as soon as one
+    valid replica of each exit task has produced it).
+
+    Raises
+    ------
+    ScheduleError
+        If, under the given failure pattern, some exit task has no valid
+        replica left (more than ``ε`` failures, or an invalid schedule).
+    """
+    stages = compute_stages(schedule, alive_only)
+    if not stages:
+        raise ScheduleError("schedule has no placed replica")
+    if alive_only is None:
+        return max(stages.values())
+    worst = 0
+    for task in schedule.graph.exit_tasks():
+        valid = [stages[r] for r in schedule.replicas(task) if r in stages]
+        if not valid:
+            raise ScheduleError(
+                f"exit task {task!r} has no valid replica under the given failures"
+            )
+        worst = max(worst, min(valid))
+    return worst
+
+
+def stage_of_task(schedule: Schedule, task: str, stages: Mapping[Replica, int] | None = None) -> int:
+    """Stage of *task* — the maximum stage over its replicas (fault-free view)."""
+    if stages is None:
+        stages = compute_stages(schedule)
+    values = [stages[r] for r in schedule.replicas(task) if r in stages]
+    if not values:
+        raise ScheduleError(f"task {task!r} has no staged replica")
+    return max(values)
+
+
+def stages_by_processor(schedule: Schedule) -> dict[str, set[int]]:
+    """For every used processor, the set of stages it participates in (reporting helper)."""
+    stages = compute_stages(schedule)
+    out: dict[str, set[int]] = {}
+    for replica, stage in stages.items():
+        out.setdefault(schedule.processor_of(replica), set()).add(stage)
+    return out

@@ -1,0 +1,223 @@
+"""Schedule invariant checks.
+
+The heuristics are greedy and stateful, so the test-suite (and cautious
+callers) re-validate their output against the model of Section 2:
+
+* **completeness** — every task has exactly ``ε+1`` replicas;
+* **placement disjointness** — replicas of a task run on pairwise distinct
+  processors (otherwise a single failure could wipe out a task);
+* **precedence / data coverage** — every non-entry replica receives each of its
+  predecessor tasks' data from at least one source replica, and never starts
+  before all its recorded inputs have arrived;
+* **throughput feasibility** — ``Σ_u ≤ Δ``, ``C^I_u ≤ Δ``, ``C^O_u ≤ Δ`` for
+  every processor (condition (1) of the paper);
+* **one-port consistency** — the busy intervals of each port never overlap
+  (guaranteed by construction via :class:`~repro.utils.intervals.Timeline`, but
+  re-checked here from the committed events);
+* **ε-resilience** — under any ``c ≤ ε`` crashes, every task still has at
+  least one valid replica (checked exhaustively for small platforms, by
+  sampling otherwise).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.exceptions import ValidationError
+from repro.schedule.replica import Replica
+from repro.schedule.schedule import Schedule
+from repro.utils.rng import ensure_rng
+
+__all__ = ["validate_schedule", "check_resilience", "valid_replicas_under_failures"]
+
+_TOL = 1e-6
+
+
+def validate_schedule(schedule: Schedule, require_complete: bool = True) -> None:
+    """Raise :class:`~repro.exceptions.ValidationError` on any violated invariant."""
+    _check_completeness(schedule, require_complete)
+    _check_disjoint_placement(schedule)
+    _check_precedence(schedule)
+    _check_throughput(schedule)
+    _check_one_port(schedule)
+
+
+def _check_completeness(schedule: Schedule, require_complete: bool) -> None:
+    factor = schedule.replication_factor
+    for task in schedule.graph.task_names:
+        placed = len(schedule.replicas(task))
+        if require_complete and placed != factor:
+            raise ValidationError(
+                f"task {task!r} has {placed} replicas, expected {factor}"
+            )
+        if placed > factor:
+            raise ValidationError(
+                f"task {task!r} has {placed} replicas, more than epsilon+1={factor}"
+            )
+
+
+def _check_disjoint_placement(schedule: Schedule) -> None:
+    for task in schedule.graph.task_names:
+        procs = schedule.processors_of_task(task)
+        if len(set(procs)) != len(procs):
+            raise ValidationError(
+                f"replicas of task {task!r} share a processor: {procs}"
+            )
+
+
+def _check_precedence(schedule: Schedule) -> None:
+    graph = schedule.graph
+    arrivals: dict[tuple[Replica, Replica], float] = {}
+    for event in schedule.comm_events:
+        arrivals[(event.source, event.destination)] = event.end
+    for replica in schedule.all_replicas():
+        preds = graph.predecessors(replica.task)
+        sources = schedule.sources_of(replica)
+        start = schedule.start_time(replica)
+        for pred in preds:
+            srcs = sources.get(pred, ())
+            if not srcs:
+                raise ValidationError(
+                    f"replica {replica!r} has no data source for predecessor {pred!r}"
+                )
+            for src in srcs:
+                key = (src, replica)
+                if key not in arrivals:
+                    raise ValidationError(
+                        f"communication {src!r} -> {replica!r} was recorded as a source "
+                        "but has no committed event"
+                    )
+                if start < arrivals[key] - _TOL:
+                    raise ValidationError(
+                        f"replica {replica!r} starts at {start:g} before its input from "
+                        f"{src!r} arrives at {arrivals[key]:g}"
+                    )
+                if schedule.finish_time(src) > arrivals[key] + _TOL and not _is_local(schedule, src, replica):
+                    # remote transfer cannot arrive before the producer finishes
+                    raise ValidationError(
+                        f"communication {src!r} -> {replica!r} arrives at {arrivals[key]:g} "
+                        f"before its producer finishes at {schedule.finish_time(src):g}"
+                    )
+
+
+def _is_local(schedule: Schedule, src: Replica, dst: Replica) -> bool:
+    return schedule.processor_of(src) == schedule.processor_of(dst)
+
+
+def _check_throughput(schedule: Schedule) -> None:
+    period = schedule.period
+    for name, state in schedule.processor_states.items():
+        if state.compute_load > period + _TOL:
+            raise ValidationError(
+                f"processor {name!r} compute load {state.compute_load:g} exceeds the period {period:g}"
+            )
+        if state.comm_in_load > period + _TOL:
+            raise ValidationError(
+                f"processor {name!r} incoming comm load {state.comm_in_load:g} exceeds the period {period:g}"
+            )
+        if state.comm_out_load > period + _TOL:
+            raise ValidationError(
+                f"processor {name!r} outgoing comm load {state.comm_out_load:g} exceeds the period {period:g}"
+            )
+
+
+def _check_one_port(schedule: Schedule) -> None:
+    """Re-derive port busy intervals from the committed events and check overlaps."""
+    outgoing: dict[str, list[tuple[float, float]]] = {}
+    incoming: dict[str, list[tuple[float, float]]] = {}
+    for event in schedule.comm_events:
+        if event.is_local:
+            continue
+        src_proc = schedule.processor_of(event.source)
+        dst_proc = schedule.processor_of(event.destination)
+        outgoing.setdefault(src_proc, []).append((event.start, event.end))
+        incoming.setdefault(dst_proc, []).append((event.start, event.end))
+    for name, spans in itertools.chain(
+        (("out-port of " + p, s) for p, s in outgoing.items()),
+        (("in-port of " + p, s) for p, s in incoming.items()),
+    ):
+        spans.sort()
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            if s2 < e1 - _TOL:
+                raise ValidationError(
+                    f"one-port violation on the {name}: interval starting at {s2:g} "
+                    f"overlaps the previous one ending at {e1:g}"
+                )
+
+
+# ----------------------------------------------------------------- resilience
+def valid_replicas_under_failures(
+    schedule: Schedule, failed_processors: Iterable[str]
+) -> dict[str, list[Replica]]:
+    """Replicas that still produce a valid result when *failed_processors* crash.
+
+    A replica is valid when its processor is alive and, for each predecessor
+    task, at least one of the source replicas it receives data from is itself
+    valid (entry replicas only need their processor alive).
+    """
+    failed = set(failed_processors)
+    for p in failed:
+        schedule.platform.processor(p)
+    valid: dict[str, list[Replica]] = {t: [] for t in schedule.graph.task_names}
+    valid_set: set[Replica] = set()
+    for task in schedule.graph.topological_order():
+        preds = schedule.graph.predecessors(task)
+        for replica in schedule.replicas(task):
+            if schedule.processor_of(replica) in failed:
+                continue
+            ok = True
+            sources = schedule.sources_of(replica)
+            for pred in preds:
+                if not any(src in valid_set for src in sources.get(pred, ())):
+                    ok = False
+                    break
+            if ok:
+                valid[task].append(replica)
+                valid_set.add(replica)
+    return valid
+
+
+def check_resilience(
+    schedule: Schedule,
+    max_failures: int | None = None,
+    exhaustive_limit: int = 20000,
+    samples: int = 500,
+    seed: int | None = 0,
+) -> None:
+    """Check that any ``c <= ε`` crashes leave at least one valid replica per task.
+
+    All subsets of ``c`` processors are enumerated when their number is below
+    *exhaustive_limit*; otherwise *samples* random subsets are drawn.
+
+    Raises
+    ------
+    ValidationError
+        If some crash pattern leaves a task without any valid replica.
+    """
+    epsilon = schedule.epsilon if max_failures is None else max_failures
+    if epsilon == 0:
+        return
+    processors: Sequence[str] = schedule.used_processors()
+    rng = ensure_rng(seed)
+
+    def verify(pattern: tuple[str, ...]) -> None:
+        valid = valid_replicas_under_failures(schedule, pattern)
+        for task, replicas in valid.items():
+            if not replicas:
+                raise ValidationError(
+                    f"task {task!r} has no valid replica when processors {sorted(pattern)} fail"
+                )
+
+    for c in range(1, epsilon + 1):
+        combos = itertools.combinations(processors, c)
+        import math
+
+        count = math.comb(len(processors), c)
+        if count <= exhaustive_limit:
+            for pattern in combos:
+                verify(pattern)
+        else:
+            for _ in range(samples):
+                idx = rng.choice(len(processors), size=c, replace=False)
+                verify(tuple(processors[i] for i in idx))

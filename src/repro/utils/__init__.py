@@ -1,0 +1,32 @@
+"""Small generic utilities shared across the library.
+
+* :mod:`repro.utils.rng` — deterministic random-number helpers.
+* :mod:`repro.utils.intervals` — busy-interval timelines used to enforce the
+  one-port communication model.
+* :mod:`repro.utils.checks` — argument validation helpers.
+* :mod:`repro.utils.ascii` — plain-text tables and plots for experiment reports.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.intervals import Interval, Timeline, earliest_common_slot
+from repro.utils.checks import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_type,
+)
+from repro.utils.ascii import format_table, ascii_plot
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Interval",
+    "Timeline",
+    "earliest_common_slot",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_type",
+    "format_table",
+    "ascii_plot",
+]

@@ -1,0 +1,112 @@
+"""Plain-text reporting helpers.
+
+The experiment harness reproduces the paper's figures as *series of numbers*
+(one row per granularity value).  Because the execution environment is
+head-less, the reports are rendered as aligned ASCII tables and, optionally, as
+small ASCII line plots so that the shape of a curve (who wins, where the gap
+widens) can be eyeballed straight from the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "ascii_plot", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_fmt: str = "{:.2f}",
+    title: str | None = None,
+) -> str:
+    """Render *rows* as an aligned, pipe-separated text table.
+
+    Floats are formatted with *float_fmt*; every other value is ``str()``-ed.
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    header_cells = [str(h) for h in headers]
+    widths = [len(h) for h in header_cells]
+    for row in rendered:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(header_cells)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(header_cells))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[float]], x: Sequence[float], x_name: str = "x") -> str:
+    """Render several y-series sharing the same x axis as a table."""
+    headers = [x_name, *series.keys()]
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append([float(xv), *[float(vals[i]) for vals in series.values()]])
+    return format_table(headers, rows)
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 15,
+    markers: str = "*+ox#@",
+) -> str:
+    """Draw a crude ASCII line plot of one or more series.
+
+    Each series is a sequence of y-values plotted against its index.  Values
+    are linearly rescaled into a ``height`` x ``width`` character grid.  The
+    function is intentionally simple: its purpose is to show curve ordering and
+    crossovers in benchmark logs, not to produce publication figures.
+    """
+    if not series:
+        return "(empty plot)"
+    all_vals = [v for vals in series.values() for v in vals if v == v]  # drop NaN
+    if not all_vals:
+        return "(empty plot)"
+    lo, hi = min(all_vals), max(all_vals)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    max_len = max(len(vals) for vals in series.values())
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(idx: int, n: int) -> int:
+        if n <= 1:
+            return 0
+        return round(idx * (width - 1) / (n - 1))
+
+    def to_row(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    legend = []
+    for k, (name, vals) in enumerate(series.items()):
+        marker = markers[k % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for i, v in enumerate(vals):
+            if v != v:  # NaN
+                continue
+            grid[to_row(v)][to_col(i, max_len)] = marker
+
+    lines = [f"max={hi:.2f}"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width + f"  min={lo:.2f}")
+    lines.append("   ".join(legend))
+    return "\n".join(lines)

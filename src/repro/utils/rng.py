@@ -1,0 +1,91 @@
+"""Deterministic random-number-generation helpers.
+
+Every stochastic component of the library (workload generators, crash-scenario
+sampling, experiment campaigns) accepts either an integer seed, an existing
+:class:`numpy.random.Generator`, or ``None``.  Centralising the coercion here
+keeps experiments reproducible and avoids the classic pitfall of mixing the
+global :mod:`random` state with local generators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs", "derive_seed"]
+
+#: Upper bound (exclusive) used when deriving child seeds.
+_SEED_SPACE = 2**32
+
+
+def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int`` seed, or an already-constructed
+        generator (returned unchanged).
+
+    Examples
+    --------
+    >>> rng = ensure_rng(42)
+    >>> rng2 = ensure_rng(rng)
+    >>> rng is rng2
+    True
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw an integer seed from *rng* suitable for seeding a child generator."""
+    return int(rng.integers(0, _SEED_SPACE))
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Spawn *count* independent child generators from a parent seed.
+
+    The children are derived with :meth:`numpy.random.Generator.spawn`, which
+    guarantees statistical independence, so campaigns can be parallelised per
+    seed without correlation between repetitions.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = ensure_rng(seed)
+    if count == 0:
+        return []
+    return list(rng.spawn(count))
+
+
+def uniform_int(rng: np.random.Generator, low: int, high: int) -> int:
+    """Inclusive uniform integer in ``[low, high]`` (paper-style ranges)."""
+    if high < low:
+        raise ValueError(f"empty range [{low}, {high}]")
+    return int(rng.integers(low, high + 1))
+
+
+def uniform_float(rng: np.random.Generator, low: float, high: float) -> float:
+    """Uniform float in ``[low, high]``."""
+    if high < low:
+        raise ValueError(f"empty range [{low}, {high}]")
+    return float(rng.uniform(low, high))
+
+
+def sample_without_replacement(
+    rng: np.random.Generator, population: Iterable, k: int
+) -> list:
+    """Sample *k* distinct elements from *population* (order randomised)."""
+    pop = list(population)
+    if k > len(pop):
+        raise ValueError(f"cannot sample {k} items from a population of {len(pop)}")
+    idx = rng.choice(len(pop), size=k, replace=False)
+    return [pop[i] for i in idx]

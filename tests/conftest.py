@@ -1,0 +1,70 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.dag import TaskGraph
+from repro.graph.examples import figure1_graph, figure2_graph
+from repro.graph.generator import chain_graph, fork_join_graph, random_layered_dag, random_paper_workload
+from repro.platform.builders import (
+    figure1_platform,
+    figure2_platform,
+    heterogeneous_platform,
+    homogeneous_platform,
+)
+
+
+@pytest.fixture
+def diamond() -> TaskGraph:
+    """The Figure 1 diamond (4 tasks, all work 15, edge volume 2)."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def fig2() -> TaskGraph:
+    """The Figure 2 workflow (7 tasks)."""
+    return figure2_graph()
+
+
+@pytest.fixture
+def fig1_platform():
+    return figure1_platform()
+
+
+@pytest.fixture
+def fig2_platform():
+    return figure2_platform(10)
+
+
+@pytest.fixture
+def homo4():
+    """Four identical unit-speed processors."""
+    return homogeneous_platform(4)
+
+
+@pytest.fixture
+def hetero8():
+    """Eight random heterogeneous processors (fixed seed)."""
+    return heterogeneous_platform(8, seed=7)
+
+
+@pytest.fixture
+def chain6() -> TaskGraph:
+    return chain_graph(6, work=10.0, volume=4.0)
+
+
+@pytest.fixture
+def forkjoin() -> TaskGraph:
+    return fork_join_graph(branches=3, branch_length=2, work=10.0, volume=4.0)
+
+
+@pytest.fixture
+def random_dag() -> TaskGraph:
+    return random_layered_dag(num_tasks=30, seed=11)
+
+
+@pytest.fixture
+def small_workload():
+    """A small paper workload (30 tasks, 8 processors) for scheduler tests."""
+    return random_paper_workload(1.0, seed=5, num_tasks=30, num_processors=8)

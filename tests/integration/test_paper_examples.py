@@ -1,0 +1,57 @@
+"""Integration tests replaying the paper's worked examples end to end."""
+
+import pytest
+
+from repro.core.ltf import ltf_schedule
+from repro.core.rltf import rltf_schedule
+from repro.exceptions import ThroughputInfeasibleError
+from repro.experiments.tables import figure1_scenarios, figure2_example
+from repro.graph.examples import figure1_graph, figure2_graph
+from repro.platform.builders import figure1_platform, figure2_platform
+from repro.schedule.metrics import communication_count, latency_upper_bound
+from repro.schedule.stages import num_stages
+from repro.schedule.validation import validate_schedule
+
+
+class TestFigure1:
+    def test_pipelined_mapping_matches_paper_numbers(self):
+        """The introduction reports S = 2 stages, T = 1/30 and L = (2S-1)/T = 90."""
+        graph = figure1_graph()
+        platform = figure1_platform()
+        schedule = rltf_schedule(graph, platform, period=30.0, epsilon=1)
+        validate_schedule(schedule)
+        assert num_stages(schedule) == 2
+        assert latency_upper_bound(schedule) == pytest.approx(90.0)
+
+    def test_scenario_table_orders_throughputs_as_in_the_paper(self):
+        rows = {r.scenario: r for r in figure1_scenarios()}
+        # pipelined execution achieves a better throughput than task parallelism
+        assert rows["pipelined execution"].throughput > rows["task parallelism"].throughput
+        # and task parallelism has the lowest latency of the pipelined/task pair
+        assert rows["task parallelism"].latency < rows["pipelined execution"].latency
+
+
+class TestFigure2:
+    def test_ltf_fails_with_eight_processors(self):
+        graph = figure2_graph()
+        with pytest.raises(ThroughputInfeasibleError):
+            ltf_schedule(graph, figure2_platform(8), throughput=0.05, epsilon=1)
+
+    def test_both_succeed_with_ten_processors(self):
+        graph = figure2_graph()
+        platform = figure2_platform(10)
+        ltf = ltf_schedule(graph, platform, throughput=0.05, epsilon=1)
+        rltf = rltf_schedule(graph, platform, throughput=0.05, epsilon=1)
+        for schedule in (ltf, rltf):
+            validate_schedule(schedule)
+            assert schedule.max_cycle_time <= 20.0 + 1e-9
+        # R-LTF's purpose: never more stages, never more communications
+        assert num_stages(rltf) <= num_stages(ltf)
+        assert communication_count(rltf) <= communication_count(ltf)
+
+    def test_example_table_is_consistent(self):
+        rows = {r.scenario: r for r in figure2_example()}
+        assert rows["LTF m=8"].latency is None  # fails, as in the paper
+        assert rows["LTF m=10"].latency is not None
+        assert rows["R-LTF m=10"].latency is not None
+        assert rows["R-LTF m=10"].latency <= rows["LTF m=10"].latency + 1e-9

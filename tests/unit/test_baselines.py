@@ -1,0 +1,120 @@
+"""Unit tests for the related-work baseline heuristics."""
+
+import pytest
+
+from repro.baselines import BASELINES, minimal_period_schedule
+from repro.baselines.clustering import cluster_by_edges
+from repro.baselines.expert import path_decomposition
+from repro.baselines.listsched import etf_schedule, heft_schedule
+from repro.exceptions import SchedulingError
+from repro.platform.builders import homogeneous_platform
+from repro.schedule.metrics import latency_upper_bound
+from repro.schedule.stages import num_stages
+from repro.schedule.validation import validate_schedule
+
+
+class TestListScheduling:
+    def test_heft_schedules_all_tasks(self, fig2, fig2_platform):
+        sch = heft_schedule(fig2, fig2_platform)
+        assert sch.is_complete()
+        assert sch.epsilon == 0
+
+    def test_heft_respects_precedence(self, fig2, fig2_platform):
+        sch = heft_schedule(fig2, fig2_platform)
+        validate_schedule(sch, require_complete=True)
+
+    def test_heft_default_period_is_feasible(self, fig2, fig2_platform):
+        sch = heft_schedule(fig2, fig2_platform)
+        assert sch.max_cycle_time <= sch.period + 1e-6
+
+    def test_heft_rejects_both_rate_arguments(self, fig2, fig2_platform):
+        with pytest.raises(ValueError):
+            heft_schedule(fig2, fig2_platform, period=10.0, throughput=0.1)
+
+    def test_etf_schedules_all_tasks(self, fig2, fig2_platform):
+        sch = etf_schedule(fig2, fig2_platform)
+        assert sch.is_complete()
+        validate_schedule(sch)
+
+    def test_heft_makespan_reasonable_on_chain(self, chain6):
+        platform = homogeneous_platform(3)
+        sch = heft_schedule(chain6, platform)
+        # a chain executes sequentially: makespan at least the total work
+        assert sch.makespan >= chain6.total_work - 1e-9
+
+    def test_etf_uses_parallelism_on_fork_join(self, forkjoin):
+        platform = homogeneous_platform(4)
+        sch = etf_schedule(forkjoin, platform)
+        assert len(sch.used_processors()) >= 3
+
+
+class TestClustering:
+    def test_cluster_loads_respect_period(self, random_dag):
+        platform = homogeneous_platform(6)
+        period = 80.0
+        clusters = cluster_by_edges(random_dag, platform, period)
+        for cluster in clusters:
+            load = sum(random_dag.work(t) for t in cluster) * platform.mean_inverse_speed
+            assert load <= period + 1e-6 or len(cluster) == 1
+
+    def test_clusters_partition_the_tasks(self, random_dag):
+        platform = homogeneous_platform(6)
+        clusters = cluster_by_edges(random_dag, platform, 100.0)
+        tasks = [t for c in clusters for t in c]
+        assert sorted(tasks) == sorted(random_dag.task_names)
+
+
+class TestExpert:
+    def test_path_decomposition_is_a_partition(self, random_dag):
+        platform = homogeneous_platform(4)
+        paths = path_decomposition(random_dag, platform)
+        tasks = [t for p in paths for t in p]
+        assert sorted(tasks) == sorted(random_dag.task_names)
+
+    def test_paths_follow_edges(self, random_dag):
+        platform = homogeneous_platform(4)
+        for path in path_decomposition(random_dag, platform):
+            for a, b in zip(path, path[1:]):
+                assert random_dag.has_edge(a, b)
+
+
+class TestAllBaselines:
+    @pytest.mark.parametrize("name", sorted(BASELINES))
+    def test_baseline_produces_complete_schedule(self, name, fig2, fig2_platform):
+        sch = BASELINES[name](fig2, fig2_platform, period=20.0)
+        assert sch.is_complete()
+        assert sch.algorithm in (name, "etf", "heft")
+        assert num_stages(sch) >= 1
+
+    @pytest.mark.parametrize("name", sorted(BASELINES))
+    def test_baseline_on_random_workload(self, name, small_workload):
+        w = small_workload
+        period = 60 * w.mean_task_time
+        sch = BASELINES[name](w.graph, w.platform, period=period)
+        assert sch.is_complete()
+        assert latency_upper_bound(sch) > 0
+
+    @pytest.mark.parametrize("name", ["preclustering", "expert", "tda", "wmsh"])
+    def test_throughput_aware_baselines_respect_compute_period(self, name, small_workload):
+        w = small_workload
+        period = 60 * w.mean_task_time
+        sch = BASELINES[name](w.graph, w.platform, period=period)
+        for proc, state in sch.processor_states.items():
+            assert state.compute_load <= period + 1e-6, proc
+
+
+class TestMinimalPeriod:
+    def test_found_period_is_feasible_and_tight(self, chain6):
+        platform = homogeneous_platform(4)
+        sch = minimal_period_schedule(chain6, platform, tolerance=1e-2)
+        assert sch.is_complete()
+        assert sch.max_cycle_time <= sch.period + 1e-6
+        # the chain's heaviest task is 10 units of work: no period below that
+        assert sch.period >= 10.0 - 1e-6
+        # and the binary search should get reasonably close to the lower bound
+        assert sch.period <= chain6.total_work
+
+    def test_algorithm_name(self, chain6):
+        platform = homogeneous_platform(4)
+        sch = minimal_period_schedule(chain6, platform, tolerance=5e-2)
+        assert sch.algorithm == "minimal-period"

@@ -1,0 +1,177 @@
+"""Unit tests for the experiment harness (config, campaign, figures, tables, CLI)."""
+
+import pytest
+
+from repro.experiments.campaign import run_point
+from repro.experiments.config import ExperimentConfig, bench_config, paper_config, workload_period
+from repro.experiments.figures import FigureSeries, clear_campaign_cache, figure3a, scaling_study
+from repro.experiments.reporting import render_example_rows, render_point_table, render_series
+from repro.experiments.tables import figure1_scenarios, figure2_example
+from repro.cli import build_parser, main
+from repro.graph.generator import random_paper_workload
+
+
+TINY = ExperimentConfig(
+    granularities=(0.5, 1.5),
+    num_graphs=1,
+    num_processors=10,
+    task_range=(20, 25),
+    crash_samples=2,
+    seed=1,
+)
+
+
+class TestConfig:
+    def test_paper_config_defaults(self):
+        cfg = paper_config()
+        assert cfg.num_graphs == 60
+        assert len(cfg.granularities) == 10
+        assert cfg.granularities[0] == pytest.approx(0.2)
+        assert cfg.granularities[-1] == pytest.approx(2.0)
+
+    def test_bench_config_is_reduced(self):
+        cfg = bench_config()
+        assert cfg.num_graphs <= paper_config().num_graphs
+        assert cfg.task_range[1] <= paper_config().task_range[1]
+
+    def test_overrides(self):
+        cfg = bench_config().with_overrides(num_graphs=5)
+        assert cfg.num_graphs == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(granularities=())
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_graphs=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(task_range=(10, 5))
+
+    def test_crash_counts(self):
+        cfg = paper_config()
+        assert cfg.crash_counts(0) == (0,)
+        assert cfg.crash_counts(1) == (0, 1)
+        assert cfg.crash_counts(3) == (0, 2)
+
+    def test_workload_period_scales_with_epsilon(self):
+        w = random_paper_workload(1.0, seed=3, num_tasks=30, num_processors=10)
+        cfg = TINY
+        assert workload_period(w, 3, cfg) == pytest.approx(2 * workload_period(w, 1, cfg))
+
+    def test_config_is_hashable(self):
+        assert hash(bench_config()) == hash(bench_config())
+
+
+class TestCampaign:
+    def test_run_point_produces_metrics(self):
+        point = run_point(1.0, epsilon=1, config=TINY)
+        assert point.instances == 1
+        assert point.crashes == (0, 1)
+        assert "R-LTF upper bound" in point.metrics or point.failures["R-LTF"] == 1
+        assert "fault-free latency" in point.metrics
+
+    def test_upper_bound_dominates_zero_crash(self):
+        point = run_point(1.0, epsilon=1, config=TINY)
+        for algo in ("LTF", "R-LTF"):
+            up = point.metric(f"{algo} upper bound")
+            zero = point.metric(f"{algo} with 0 crash")
+            if up == up and zero == zero:  # both defined
+                assert up >= zero - 1e-9
+
+    def test_point_metric_missing_is_nan(self):
+        point = run_point(1.0, epsilon=1, config=TINY)
+        assert point.metric("not a metric") != point.metric("not a metric")  # NaN
+
+
+class TestFigures:
+    def test_figure3a_series_structure(self):
+        clear_campaign_cache()
+        series = figure3a(TINY)
+        assert isinstance(series, FigureSeries)
+        assert series.x == TINY.granularities
+        assert set(series.series) == {
+            "R-LTF With 0 Crash",
+            "R-LTF UpperBound",
+            "LTF With 0 Crash",
+            "LTF UpperBound",
+        }
+        assert all(len(vals) == len(series.x) for vals in series.series.values())
+
+    def test_campaign_cache_reused_across_panels(self):
+        clear_campaign_cache()
+        from repro.experiments import figures as fig
+
+        a = figure3a(TINY)
+        b = fig.figure3b(TINY)
+        assert a.x == b.x
+        assert a.series["LTF With 0 Crash"] == b.series["LTF With 0 Crash"]
+
+    def test_scaling_study_reports_times(self):
+        series = scaling_study(sizes=(10, 20), epsilon=0, config=TINY)
+        assert series.x == (10.0, 20.0)
+        assert all(v >= 0 for vals in series.series.values() for v in vals)
+
+    def test_as_rows(self):
+        series = FigureSeries("x", "g", (1.0, 2.0), {"a": (3.0, 4.0)})
+        assert series.as_rows() == [[1.0, 3.0], [2.0, 4.0]]
+
+
+class TestTables:
+    def test_figure1_scenarios_rows(self):
+        rows = figure1_scenarios()
+        scenarios = {r.scenario for r in rows}
+        assert scenarios == {"task parallelism", "data parallelism", "pipelined execution"}
+        pipelined = next(r for r in rows if r.scenario == "pipelined execution")
+        # the paper reports L = 90 for the pipelined mapping with T = 1/30
+        assert pipelined.latency == pytest.approx(90.0)
+        assert pipelined.stages == 2
+
+    def test_figure2_example_rows(self):
+        rows = figure2_example()
+        assert len(rows) == 4
+        m10 = [r for r in rows if "m=10" in r.scenario]
+        assert all(r.latency is not None for r in m10)
+
+
+class TestReporting:
+    def test_render_series_contains_headers(self):
+        series = FigureSeries("demo", "g", (1.0,), {"curve": (2.0,)}, "desc")
+        out = render_series(series)
+        assert "demo" in out and "curve" in out
+
+    def test_render_series_without_plot(self):
+        series = FigureSeries("demo", "g", (1.0,), {"curve": (2.0,)})
+        assert "=" not in render_series(series, plot=False).splitlines()[0]
+
+    def test_render_point_table(self):
+        point = run_point(1.0, epsilon=0, config=TINY)
+        out = render_point_table([point])
+        assert "granularity" in out
+
+    def test_render_point_table_empty(self):
+        assert render_point_table([]) == "(no data)"
+
+    def test_render_example_rows(self):
+        out = render_example_rows(figure2_example(), "demo title")
+        assert out.splitlines()[0] == "demo title"
+
+
+class TestCli:
+    def test_parser_lists_all_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure3a"])
+        assert args.command == "figure3a"
+
+    def test_examples_command(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 2" in out
+
+    def test_figure_command_with_tiny_scale(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_GRAPHS", "1")
+        clear_campaign_cache()
+        assert main(["scaling", "--graphs", "1", "--no-plot"]) == 0
+        assert "scaling_study" in capsys.readouterr().out
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,144 @@
+"""Unit tests for crash scenarios, crash-latency evaluation and the simulator."""
+
+import pytest
+
+from repro.core.ltf import ltf_schedule
+from repro.core.rltf import rltf_schedule
+from repro.exceptions import ScheduleError
+from repro.failures.evaluation import crash_latency, evaluate_crashes, expected_crash_latency
+from repro.failures.scenarios import CrashScenario, all_crash_scenarios, sample_crash_scenarios
+from repro.failures.simulator import StreamingSimulator, simulate_stream
+from repro.graph.generator import chain_graph
+from repro.platform.builders import figure2_platform, homogeneous_platform
+from repro.schedule.metrics import latency_upper_bound
+from repro.schedule.stages import num_stages
+
+
+@pytest.fixture
+def replicated(fig2, fig2_platform):
+    return ltf_schedule(fig2, fig2_platform, throughput=0.05, epsilon=1)
+
+
+class TestScenarios:
+    def test_scenario_basics(self, fig2_platform):
+        sc = CrashScenario(frozenset({"P1", "P2"}))
+        assert sc.count == 2
+        assert not sc.is_alive("P1")
+        assert sc.is_alive("P3")
+        assert len(sc.alive(fig2_platform)) == 8
+
+    def test_sampling_counts_and_distinctness(self, fig2_platform):
+        scenarios = sample_crash_scenarios(fig2_platform, crashes=3, count=20, seed=0)
+        assert len(scenarios) == 20
+        assert all(sc.count == 3 for sc in scenarios)
+
+    def test_sampling_determinism(self, fig2_platform):
+        a = sample_crash_scenarios(fig2_platform, 2, 5, seed=1)
+        b = sample_crash_scenarios(fig2_platform, 2, 5, seed=1)
+        assert a == b
+
+    def test_sampling_validation(self, fig2_platform):
+        with pytest.raises(ValueError):
+            sample_crash_scenarios(fig2_platform, -1, 1)
+        with pytest.raises(ValueError):
+            sample_crash_scenarios(fig2_platform, 11, 1)
+
+    def test_all_scenarios_enumeration(self):
+        platform = homogeneous_platform(4)
+        assert len(all_crash_scenarios(platform, 2)) == 6
+        assert len(all_crash_scenarios(platform, 0)) == 1
+
+
+class TestCrashLatency:
+    def test_zero_crash_at_most_upper_bound(self, replicated):
+        ev = crash_latency(replicated, CrashScenario(frozenset()))
+        assert ev.latency <= latency_upper_bound(replicated) + 1e-9
+        assert ev.stages >= 1
+
+    def test_crash_latency_bounded_by_upper_bound(self, replicated):
+        for sc in all_crash_scenarios(replicated.platform, 1):
+            try:
+                ev = crash_latency(replicated, sc)
+            except ScheduleError:
+                continue  # some crash pattern may orphan a task in paper mode
+            assert ev.latency <= latency_upper_bound(replicated) + 1e-9
+
+    def test_crash_of_unused_processor_changes_nothing(self, replicated):
+        unused = set(replicated.platform.processor_names) - set(replicated.used_processors())
+        if not unused:
+            pytest.skip("all processors are used")
+        baseline = crash_latency(replicated, CrashScenario(frozenset())).latency
+        ev = crash_latency(replicated, CrashScenario(frozenset({unused.pop()})))
+        assert ev.latency == pytest.approx(baseline)
+
+    def test_on_invalid_upper_bound_fallback(self, replicated):
+        # crash every used processor: no valid replica anywhere
+        everything = frozenset(replicated.used_processors())
+        with pytest.raises(ScheduleError):
+            crash_latency(replicated, everything)
+        ev = crash_latency(replicated, everything, on_invalid="upper_bound")
+        assert ev.latency == pytest.approx(latency_upper_bound(replicated))
+
+    def test_on_invalid_validation(self, replicated):
+        with pytest.raises(ValueError):
+            crash_latency(replicated, frozenset(), on_invalid="bogus")
+
+    def test_evaluate_crashes_sample_count(self, replicated):
+        evals = evaluate_crashes(replicated, crashes=1, samples=5, seed=3, on_invalid="upper_bound")
+        assert len(evals) == 5
+        assert all(ev.crashes == 1 for ev in evals)
+
+    def test_expected_crash_latency_normalization(self, replicated):
+        raw = expected_crash_latency(replicated, 0, unit=1.0)
+        halved = expected_crash_latency(replicated, 0, unit=2.0)
+        assert halved == pytest.approx(raw / 2.0)
+
+    def test_expected_crash_latency_monotone_in_crashes(self, replicated):
+        zero = expected_crash_latency(replicated, 0)
+        one = expected_crash_latency(replicated, 1, samples=10, seed=0, on_invalid="upper_bound")
+        assert one >= zero - 1e-9
+
+
+class TestSimulator:
+    def test_incomplete_schedule_rejected(self, fig2, fig2_platform):
+        from repro.schedule.schedule import Schedule
+
+        with pytest.raises(ScheduleError):
+            StreamingSimulator(Schedule(fig2, fig2_platform, period=20.0))
+
+    def test_latencies_below_analytic_bound(self, replicated):
+        result = simulate_stream(replicated, num_datasets=8)
+        assert result.num_datasets == 8
+        assert result.max_latency <= latency_upper_bound(replicated) + 1e-6
+
+    def test_achieved_period_close_to_target(self, replicated):
+        result = simulate_stream(replicated, num_datasets=12)
+        assert result.achieved_period <= replicated.period + 1e-6
+        assert result.achieved_throughput >= 1.0 / replicated.period - 1e-9
+
+    def test_steady_state_latency_positive(self, replicated):
+        result = simulate_stream(replicated, num_datasets=6)
+        assert result.steady_state_latency > 0
+
+    def test_simulation_with_crash_still_completes(self, replicated):
+        used = replicated.used_processors()
+        result = simulate_stream(replicated, num_datasets=6, failed_processors=[used[0]])
+        assert result.num_datasets == 6
+
+    def test_simulation_rejects_fatal_crash_set(self, replicated):
+        with pytest.raises(ScheduleError):
+            simulate_stream(replicated, 4, failed_processors=replicated.used_processors())
+
+    def test_invalid_dataset_count(self, replicated):
+        with pytest.raises(ValueError):
+            simulate_stream(replicated, num_datasets=0)
+
+    def test_chain_simulation_matches_pipeline_model(self):
+        graph = chain_graph(4, work=10.0, volume=1.0)
+        platform = homogeneous_platform(4)
+        schedule = rltf_schedule(graph, platform, period=12.0, epsilon=0)
+        result = simulate_stream(schedule, num_datasets=10)
+        # the analytic model is (2S-1) * period; the event-driven execution can
+        # only be faster because stages are not artificially synchronised.
+        assert result.steady_state_latency <= latency_upper_bound(schedule) + 1e-6
+        assert result.steady_state_latency >= graph.total_work / platform.max_speed - 1e-6

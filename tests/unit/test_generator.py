@@ -1,0 +1,140 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.graph.analysis import granularity
+from repro.graph.generator import (
+    LayeredDagConfig,
+    chain_graph,
+    fork_join_graph,
+    random_layered_dag,
+    random_paper_workload,
+    random_series_parallel,
+)
+
+
+class TestLayeredDag:
+    def test_task_count(self):
+        g = random_layered_dag(num_tasks=40, seed=0)
+        assert g.num_tasks == 40
+
+    def test_determinism(self):
+        a = random_layered_dag(num_tasks=30, seed=3)
+        b = random_layered_dag(num_tasks=30, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert [t.work for t in a.tasks] == [t.work for t in b.tasks]
+
+    def test_different_seeds_differ(self):
+        a = random_layered_dag(num_tasks=30, seed=1)
+        b = random_layered_dag(num_tasks=30, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_every_non_entry_task_has_a_predecessor(self):
+        g = random_layered_dag(num_tasks=50, seed=4)
+        entries = set(g.entry_tasks())
+        for t in g.task_names:
+            if t not in entries:
+                assert g.in_degree(t) >= 1
+
+    def test_is_acyclic(self):
+        random_layered_dag(num_tasks=60, seed=5).validate()
+
+    def test_work_and_volume_ranges(self):
+        cfg = LayeredDagConfig(num_tasks=40, work_range=(10, 20), volume_range=(1, 2))
+        g = random_layered_dag(cfg, seed=6)
+        assert all(10 <= t.work <= 20 for t in g.tasks)
+        assert all(1 <= vol <= 2 for _, _, vol in g.edges())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LayeredDagConfig(num_tasks=0)
+        with pytest.raises(ValueError):
+            LayeredDagConfig(edge_probability=1.5)
+        with pytest.raises(ValueError):
+            LayeredDagConfig(work_range=(5, 1))
+
+    def test_config_and_overrides_are_exclusive(self):
+        with pytest.raises(TypeError):
+            random_layered_dag(LayeredDagConfig(), num_tasks=10)
+
+    def test_single_task_graph(self):
+        g = random_layered_dag(num_tasks=1, seed=0)
+        assert g.num_tasks == 1
+        assert g.num_edges == 0
+
+
+class TestSeriesParallel:
+    def test_single_entry_and_exit(self):
+        g = random_series_parallel(depth=4, seed=1)
+        assert len(g.entry_tasks()) == 1
+        assert len(g.exit_tasks()) == 1
+
+    def test_depth_zero_is_an_edge(self):
+        g = random_series_parallel(depth=0, seed=0)
+        assert g.num_tasks == 2
+        assert g.num_edges == 1
+
+    def test_determinism(self):
+        a = random_series_parallel(depth=3, seed=9)
+        b = random_series_parallel(depth=3, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_series_parallel(depth=-1)
+        with pytest.raises(ValueError):
+            random_series_parallel(max_branches=1)
+
+
+class TestStructuredGraphs:
+    def test_chain_structure(self):
+        g = chain_graph(5)
+        assert g.num_tasks == 5
+        assert g.num_edges == 4
+        assert len(g.entry_tasks()) == 1
+
+    def test_chain_length_one(self):
+        g = chain_graph(1)
+        assert g.num_edges == 0
+
+    def test_fork_join_structure(self):
+        g = fork_join_graph(branches=4, branch_length=3)
+        assert g.num_tasks == 2 + 4 * 3
+        assert g.out_degree("source") == 4
+        assert g.in_degree("sink") == 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            chain_graph(0)
+        with pytest.raises(ValueError):
+            fork_join_graph(0)
+
+
+class TestPaperWorkload:
+    @pytest.mark.parametrize("target", [0.2, 1.0, 2.0])
+    def test_achieved_granularity_matches_target(self, target):
+        w = random_paper_workload(target, seed=1, num_tasks=40)
+        assert w.achieved_granularity == pytest.approx(target, rel=1e-9)
+        assert granularity(w.graph, w.platform) == pytest.approx(target, rel=1e-9)
+
+    def test_platform_size(self):
+        w = random_paper_workload(1.0, seed=2, num_tasks=30, num_processors=12)
+        assert w.platform.num_processors == 12
+
+    def test_task_count_within_paper_range(self):
+        w = random_paper_workload(1.0, seed=3)
+        assert 50 <= w.graph.num_tasks <= 150
+
+    def test_mean_task_time_positive(self):
+        w = random_paper_workload(0.5, seed=4, num_tasks=30)
+        assert w.mean_task_time > 0
+
+    def test_determinism(self):
+        a = random_paper_workload(1.0, seed=77, num_tasks=30)
+        b = random_paper_workload(1.0, seed=77, num_tasks=30)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+        assert list(a.platform.speeds) == list(b.platform.speeds)
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            random_paper_workload(0.0, seed=0)

@@ -1,0 +1,149 @@
+"""Unit tests for RNG helpers, argument checks and ASCII reporting."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii import ascii_plot, format_series, format_table
+from repro.utils.checks import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+from repro.utils.rng import (
+    derive_seed,
+    ensure_rng,
+    sample_without_replacement,
+    spawn_rngs,
+    uniform_float,
+    uniform_int,
+)
+
+
+class TestRng:
+    def test_ensure_rng_from_int_is_deterministic(self):
+        assert ensure_rng(42).integers(1000) == ensure_rng(42).integers(1000)
+
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_rng_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_ensure_rng_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_rngs_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+        assert len({c.integers(10**9) for c in children}) > 1
+
+    def test_spawn_rngs_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_rngs_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_derive_seed_in_range(self):
+        seed = derive_seed(ensure_rng(1))
+        assert 0 <= seed < 2**32
+
+    def test_uniform_int_bounds(self):
+        rng = ensure_rng(3)
+        values = {uniform_int(rng, 2, 4) for _ in range(100)}
+        assert values <= {2, 3, 4}
+        assert len(values) == 3
+
+    def test_uniform_int_empty_range(self):
+        with pytest.raises(ValueError):
+            uniform_int(ensure_rng(0), 5, 4)
+
+    def test_uniform_float_bounds(self):
+        rng = ensure_rng(4)
+        for _ in range(50):
+            assert 1.5 <= uniform_float(rng, 1.5, 2.5) <= 2.5
+
+    def test_sample_without_replacement(self):
+        rng = ensure_rng(5)
+        sample = sample_without_replacement(rng, range(10), 4)
+        assert len(sample) == len(set(sample)) == 4
+
+    def test_sample_too_many(self):
+        with pytest.raises(ValueError):
+            sample_without_replacement(ensure_rng(0), range(3), 5)
+
+
+class TestChecks:
+    def test_check_positive_accepts(self):
+        assert check_positive(2, "x") == 2.0
+
+    @pytest.mark.parametrize("value", [0, -1, float("nan"), float("inf")])
+    def test_check_positive_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_positive(value, "x")
+
+    def test_check_positive_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+        with pytest.raises(TypeError):
+            check_positive("3", "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_check_probability_accepts(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_check_probability_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+    def test_check_in_range(self):
+        assert check_in_range(3, 1, 5, "x") == 3.0
+        with pytest.raises(ValueError):
+            check_in_range(6, 1, 5, "x")
+
+    def test_check_type(self):
+        assert check_type("a", str, "x") == "a"
+        with pytest.raises(TypeError):
+            check_type("a", (int, float), "x")
+
+
+class TestAscii:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bbbb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_table_title(self):
+        out = format_table(["a"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_format_table_bad_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series(self):
+        out = format_series({"s": [1.0, 2.0]}, [0.1, 0.2], x_name="g")
+        assert "g" in out and "s" in out
+
+    def test_ascii_plot_contains_legend(self):
+        out = ascii_plot({"up": [1, 2, 3], "down": [3, 2, 1]})
+        assert "* = up" in out
+        assert "+ = down" in out
+
+    def test_ascii_plot_empty(self):
+        assert "empty" in ascii_plot({})
+
+    def test_ascii_plot_constant_series(self):
+        out = ascii_plot({"flat": [2.0, 2.0, 2.0]})
+        assert "flat" in out
