@@ -1,0 +1,39 @@
+"""Online-runtime benchmark: Monte-Carlo campaign under stochastic failures.
+
+Times one seeded campaign of online-runtime trials (schedule → fault trace →
+live rescheduling) and prints the aggregate downtime/rebuild statistics, plus
+a serial-vs-parallel comparison of the campaign engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.parallel import run_runtime_campaign
+from repro.runtime.montecarlo import RuntimeTrialSpec
+from repro.utils.ascii import format_table
+
+SPEC = RuntimeTrialSpec(
+    num_tasks=25,
+    num_processors=8,
+    epsilon=1,
+    num_datasets=100,
+    mttf_periods=80.0,
+)
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_runtime_campaign_serial(benchmark):
+    result = benchmark(lambda: run_runtime_campaign(SPEC, trials=5, seed=0, jobs=1))
+    stats = result.stats
+    print()
+    print(format_table(["statistic", "value"], stats.as_rows(), title="online runtime, 5 trials"))
+    assert stats.trials == 5
+    assert 0.0 <= stats.mean_availability <= 1.0
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_runtime_campaign_parallel_matches_serial(benchmark):
+    serial = run_runtime_campaign(SPEC, trials=4, seed=1, jobs=1)
+    fanned = benchmark(lambda: run_runtime_campaign(SPEC, trials=4, seed=1, jobs=4))
+    assert fanned.traces == serial.traces

@@ -5,7 +5,10 @@ Throughput and Reliability Constraints"** (Anne Benoit, Mourad Hakem, Yves
 Robert, 2009): the LTF and R-LTF tri-criteria scheduling heuristics, the
 heterogeneous one-port platform model they run on, the active-replication
 failure model, the related-work baselines, and the full experiment harness
-regenerating the paper's figures.
+regenerating the paper's figures — plus an online streaming runtime
+(:mod:`repro.runtime`) that executes schedules under stochastic processor
+failures with live rescheduling, evaluated at Monte-Carlo scale by the
+parallel campaign engine (:mod:`repro.experiments.parallel`).
 
 Quickstart
 ----------
@@ -83,6 +86,17 @@ from repro.failures import (
     evaluate_crashes,
     expected_crash_latency,
     simulate_stream,
+    FaultEvent,
+    FaultTrace,
+    sample_fault_trace,
+)
+from repro.runtime import (
+    OnlineRuntime,
+    run_online,
+    RuntimeTrace,
+    RuntimeTrialSpec,
+    run_trial,
+    summarize_traces,
 )
 from repro.baselines import (
     heft_schedule,
@@ -157,6 +171,16 @@ __all__ = [
     "evaluate_crashes",
     "expected_crash_latency",
     "simulate_stream",
+    "FaultEvent",
+    "FaultTrace",
+    "sample_fault_trace",
+    # online runtime
+    "OnlineRuntime",
+    "run_online",
+    "RuntimeTrace",
+    "RuntimeTrialSpec",
+    "run_trial",
+    "summarize_traces",
     # baselines
     "heft_schedule",
     "etf_schedule",

@@ -6,16 +6,24 @@ Regenerate the benchmark-scale version of Figure 3(a)::
 
     repro-streaming figure3a
 
-Regenerate Figure 4(c) at the paper's scale (60 graphs per point)::
+Regenerate Figure 4(c) at the paper's scale (60 graphs per point), fanning the
+granularity points across 4 worker processes (same numbers, less wall-clock)::
 
-    repro-streaming figure4c --paper-scale
+    repro-streaming figure4c --paper-scale --jobs 4
 
 Print the worked examples and the extra studies::
 
     repro-streaming examples
-    repro-streaming ablations
+    repro-streaming ablations --jobs 2
     repro-streaming baselines
     repro-streaming scaling
+
+Run the online streaming runtime: 20 Monte-Carlo trials of a schedule
+executing under stochastic processor failures with live rescheduling, 4
+trials at a time (identical statistics for any ``--jobs``)::
+
+    repro-streaming runtime --seed 0 --trials 20 --jobs 4
+    repro-streaming runtime --policy remap --mttf 200 --mttr 50 --distribution weibull
 """
 
 from __future__ import annotations
@@ -63,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         _add_scale_options(p)
     sub.add_parser("examples", help="print the Figure 1 and Figure 2 worked examples")
+    _add_runtime_parser(sub)
     return parser
 
 
@@ -81,6 +90,64 @@ def _add_scale_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-plot", action="store_true", help="print only the table, no ASCII plot"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the per-granularity points (results are "
+            "identical for any value; the scaling study always runs serially "
+            "because it measures wall-clock time)"
+        ),
+    )
+
+
+def _add_runtime_parser(sub) -> None:
+    p = sub.add_parser(
+        "runtime",
+        help="Monte-Carlo campaign of the online runtime under stochastic failures",
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    p.add_argument("--trials", type=int, default=20, help="number of Monte-Carlo trials")
+    p.add_argument("--jobs", type=int, default=1, help="worker processes for the trials")
+    p.add_argument("--datasets", type=int, default=200, help="data sets per trial")
+    p.add_argument("--epsilon", type=int, default=2, help="fault-tolerance degree ε")
+    p.add_argument("--granularity", type=float, default=1.0, help="workload granularity")
+    p.add_argument("--tasks", type=int, default=30, help="tasks per random workload")
+    p.add_argument("--processors", type=int, default=10, help="platform size")
+    p.add_argument(
+        "--mttf",
+        type=float,
+        default=500.0,
+        help="mean time to failure per processor, in stream periods",
+    )
+    p.add_argument(
+        "--mttr",
+        type=float,
+        default=None,
+        help="mean time to repair, in stream periods (default: no repair)",
+    )
+    p.add_argument(
+        "--distribution",
+        choices=("exponential", "weibull"),
+        default="exponential",
+        help="inter-failure time distribution",
+    )
+    p.add_argument(
+        "--weibull-shape", type=float, default=1.5, help="Weibull shape parameter"
+    )
+    p.add_argument(
+        "--policy",
+        choices=("rltf", "remap"),
+        default="rltf",
+        help="online rescheduling policy",
+    )
+    p.add_argument(
+        "--rebuild-overhead",
+        type=float,
+        default=1.0,
+        help="rebuild downtime, in stream periods",
+    )
 
 
 def _config(args: argparse.Namespace):
@@ -88,6 +155,42 @@ def _config(args: argparse.Namespace):
     if args.graphs is not None:
         config = config.with_overrides(num_graphs=args.graphs)
     return config
+
+
+def _run_runtime_command(args: argparse.Namespace) -> int:
+    from repro.exceptions import SchedulingError
+    from repro.experiments.parallel import run_runtime_campaign
+    from repro.runtime.montecarlo import RuntimeTrialSpec
+    from repro.utils.ascii import format_table
+
+    try:
+        spec = RuntimeTrialSpec(
+            granularity=args.granularity,
+            num_tasks=args.tasks,
+            num_processors=args.processors,
+            epsilon=args.epsilon,
+            num_datasets=args.datasets,
+            mttf_periods=args.mttf,
+            distribution=args.distribution,
+            weibull_shape=args.weibull_shape,
+            mttr_periods=args.mttr,
+            policy=args.policy,
+            rebuild_overhead=args.rebuild_overhead,
+        )
+        result = run_runtime_campaign(
+            spec, trials=args.trials, seed=args.seed, jobs=args.jobs
+        )
+    except (ValueError, SchedulingError) as exc:
+        print(f"repro-streaming runtime: error: {exc}", file=sys.stderr)
+        return 2
+    stats = result.stats
+    title = (
+        f"Online runtime campaign — {args.trials} trials, seed {args.seed}, "
+        f"policy {args.policy}, mttf {args.mttf:g}Δ"
+        + ("" if args.mttr is None else f", mttr {args.mttr:g}Δ")
+    )
+    print(format_table(["statistic", "value"], stats.as_rows(), title=title))
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -101,14 +204,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         print()
         print(render_example_rows(figure2_example(), "Figure 2 — LTF vs R-LTF"))
         return 0
+    if command == "runtime":
+        return _run_runtime_command(args)
 
     config = _config(args)
+    jobs = getattr(args, "jobs", 1)
     if command in _FIGURES:
-        series = _FIGURES[command](config)
+        series = _FIGURES[command](config, jobs=jobs)
     elif command == "ablations":
-        series = fig.ablation_rules(config)
+        series = fig.ablation_rules(config, jobs=jobs)
     elif command == "baselines":
-        series = fig.baseline_comparison(config)
+        series = fig.baseline_comparison(config, jobs=jobs)
     elif command == "scaling":
         series = fig.scaling_study(config=config)
     else:  # pragma: no cover - argparse enforces valid choices

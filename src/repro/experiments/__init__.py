@@ -7,7 +7,10 @@
 * :mod:`repro.experiments.figures` — one function per figure panel
   (3a, 3b, 3c, 4a, 4b, 4c) plus the ablation / baseline / scaling studies;
 * :mod:`repro.experiments.tables` — the worked examples of Figures 1 and 2;
-* :mod:`repro.experiments.reporting` — ASCII rendering of the results.
+* :mod:`repro.experiments.reporting` — ASCII rendering of the results;
+* :mod:`repro.experiments.parallel` — the parallel Monte-Carlo campaign
+  engine (``jobs``-way process fan-out of runtime trials and campaign
+  points, deterministic regardless of the worker count).
 """
 
 from repro.experiments.config import ExperimentConfig, bench_config, paper_config, workload_period
@@ -26,6 +29,11 @@ from repro.experiments.figures import (
 )
 from repro.experiments.tables import figure1_scenarios, figure2_example
 from repro.experiments.reporting import render_series, render_point_table
+from repro.experiments.parallel import (
+    parallel_map,
+    RuntimeCampaignResult,
+    run_runtime_campaign,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -50,4 +58,7 @@ __all__ = [
     "figure2_example",
     "render_series",
     "render_point_table",
+    "parallel_map",
+    "RuntimeCampaignResult",
+    "run_runtime_campaign",
 ]

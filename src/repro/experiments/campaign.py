@@ -16,6 +16,7 @@ recorded as failures and excluded from the averages (their rate is reported).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Mapping
 
 import numpy as np
@@ -31,7 +32,26 @@ from repro.schedule.metrics import latency_upper_bound
 from repro.schedule.schedule import Schedule
 from repro.utils.rng import ensure_rng
 
-__all__ = ["PointResult", "CampaignResult", "run_point", "run_campaign", "ALGORITHMS"]
+__all__ = [
+    "PointResult",
+    "CampaignResult",
+    "point_seed",
+    "run_point",
+    "run_campaign",
+    "ALGORITHMS",
+]
+
+
+def point_seed(config: ExperimentConfig, granularity: float, offset: int = 0) -> int:
+    """Deterministic seed of one (granularity, study) sweep point.
+
+    Every study that fans granularity points across processes (the campaign,
+    the ablations, the baselines) derives its per-point RNG from this single
+    formula — the point's result then depends only on ``(config, granularity,
+    offset)``, never on execution order, which is what makes ``jobs > 1``
+    bit-for-bit identical to a serial run.
+    """
+    return config.seed + offset + int(round(granularity * 1000))
 
 #: the two heuristics of the paper, keyed by their display name.
 ALGORITHMS: dict[str, Callable[..., Schedule]] = {
@@ -89,7 +109,7 @@ def run_point(
     """Run one (granularity, ε) point of the campaign."""
     algorithms = dict(algorithms or ALGORITHMS)
     crashes = config.crash_counts(epsilon)
-    rng = ensure_rng(config.seed + int(round(granularity * 1000)) + 31 * epsilon)
+    rng = ensure_rng(point_seed(config, granularity, offset=31 * epsilon))
     accum: dict[str, list[float]] = {}
     failures = {name: 0 for name in algorithms}
     failures["fault-free"] = 0
@@ -158,9 +178,21 @@ def run_campaign(
     epsilon: int,
     config: ExperimentConfig,
     algorithms: Mapping[str, Callable[..., Schedule]] | None = None,
+    jobs: int | None = 1,
 ) -> CampaignResult:
-    """Sweep every granularity of *config* for the given ε."""
-    result = CampaignResult(epsilon=epsilon)
-    for granularity in config.granularities:
-        result.points.append(run_point(granularity, epsilon, config, algorithms))
-    return result
+    """Sweep every granularity of *config* for the given ε.
+
+    With ``jobs > 1`` the granularity points run across worker processes via
+    :func:`repro.experiments.parallel.parallel_map`.  Every point derives its
+    RNG from ``(config.seed, granularity, epsilon)`` alone, so the parallel
+    sweep is bit-for-bit identical to the serial one (custom *algorithms* must
+    then be picklable, i.e. module-level functions).
+    """
+    from repro.experiments.parallel import parallel_map
+
+    points = parallel_map(
+        partial(run_point, epsilon=epsilon, config=config, algorithms=algorithms),
+        config.granularities,
+        jobs=jobs,
+    )
+    return CampaignResult(epsilon=epsilon, points=list(points))

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Mapping
 
 import numpy as np
@@ -20,8 +21,9 @@ from repro.core.fault_free import fault_free_schedule
 from repro.core.ltf import ltf_schedule
 from repro.core.rltf import rltf_schedule
 from repro.exceptions import SchedulingError
-from repro.experiments.campaign import CampaignResult, run_campaign
+from repro.experiments.campaign import CampaignResult, point_seed, run_campaign
 from repro.experiments.config import ExperimentConfig, bench_config, workload_period
+from repro.experiments.parallel import parallel_map
 from repro.graph.generator import random_paper_workload
 from repro.schedule.metrics import communication_count, latency_upper_bound
 from repro.utils.rng import ensure_rng
@@ -67,10 +69,12 @@ def clear_campaign_cache() -> None:
     _CAMPAIGN_CACHE.clear()
 
 
-def _campaign(epsilon: int, config: ExperimentConfig) -> CampaignResult:
+def _campaign(epsilon: int, config: ExperimentConfig, jobs: int | None = 1) -> CampaignResult:
+    # `jobs` affects only the wall-clock, never the numbers (see run_campaign),
+    # so it is deliberately absent from the cache key.
     key = (epsilon, config)
     if key not in _CAMPAIGN_CACHE:
-        _CAMPAIGN_CACHE[key] = run_campaign(epsilon, config)
+        _CAMPAIGN_CACHE[key] = run_campaign(epsilon, config, jobs=jobs)
     return _CAMPAIGN_CACHE[key]
 
 
@@ -80,9 +84,10 @@ def _panel(
     metrics: Mapping[str, str],
     config: ExperimentConfig | None,
     description: str,
+    jobs: int | None = 1,
 ) -> FigureSeries:
     config = config or bench_config()
-    campaign = _campaign(epsilon, config)
+    campaign = _campaign(epsilon, config, jobs=jobs)
     series = {
         label: tuple(campaign.series(metric)) for label, metric in metrics.items()
     }
@@ -96,7 +101,7 @@ def _panel(
 
 
 # ------------------------------------------------------------------- Figure 3
-def figure3a(config: ExperimentConfig | None = None) -> FigureSeries:
+def figure3a(config: ExperimentConfig | None = None, jobs: int | None = 1) -> FigureSeries:
     """Figure 3(a): normalized latency bounds vs granularity, ε = 1."""
     return _panel(
         "figure3a",
@@ -108,11 +113,12 @@ def figure3a(config: ExperimentConfig | None = None) -> FigureSeries:
             "LTF UpperBound": "LTF upper bound",
         },
         config=config,
+        jobs=jobs,
         description="Average normalized latency (bounds), epsilon=1",
     )
 
 
-def figure3b(config: ExperimentConfig | None = None) -> FigureSeries:
+def figure3b(config: ExperimentConfig | None = None, jobs: int | None = 1) -> FigureSeries:
     """Figure 3(b): normalized latency with crashes vs granularity, ε = 1."""
     return _panel(
         "figure3b",
@@ -124,11 +130,12 @@ def figure3b(config: ExperimentConfig | None = None) -> FigureSeries:
             "LTF With 1 Crash": "LTF with 1 crash",
         },
         config=config,
+        jobs=jobs,
         description="Average normalized latency with crashes, epsilon=1",
     )
 
 
-def figure3c(config: ExperimentConfig | None = None) -> FigureSeries:
+def figure3c(config: ExperimentConfig | None = None, jobs: int | None = 1) -> FigureSeries:
     """Figure 3(c): fault-tolerance overhead (%) vs granularity, ε = 1."""
     return _panel(
         "figure3c",
@@ -140,12 +147,13 @@ def figure3c(config: ExperimentConfig | None = None) -> FigureSeries:
             "LTF With 1 Crash": "LTF overhead with 1 crash (%)",
         },
         config=config,
+        jobs=jobs,
         description="Average fault-tolerance overhead, epsilon=1",
     )
 
 
 # ------------------------------------------------------------------- Figure 4
-def figure4a(config: ExperimentConfig | None = None) -> FigureSeries:
+def figure4a(config: ExperimentConfig | None = None, jobs: int | None = 1) -> FigureSeries:
     """Figure 4(a): normalized latency bounds vs granularity, ε = 3."""
     return _panel(
         "figure4a",
@@ -157,11 +165,12 @@ def figure4a(config: ExperimentConfig | None = None) -> FigureSeries:
             "LTF UpperBound": "LTF upper bound",
         },
         config=config,
+        jobs=jobs,
         description="Average normalized latency (bounds), epsilon=3",
     )
 
 
-def figure4b(config: ExperimentConfig | None = None) -> FigureSeries:
+def figure4b(config: ExperimentConfig | None = None, jobs: int | None = 1) -> FigureSeries:
     """Figure 4(b): normalized latency with c = 2 crashes vs granularity, ε = 3."""
     return _panel(
         "figure4b",
@@ -173,11 +182,12 @@ def figure4b(config: ExperimentConfig | None = None) -> FigureSeries:
             "LTF With 2 Crash": "LTF with 2 crash",
         },
         config=config,
+        jobs=jobs,
         description="Average normalized latency with crashes, epsilon=3",
     )
 
 
-def figure4c(config: ExperimentConfig | None = None) -> FigureSeries:
+def figure4c(config: ExperimentConfig | None = None, jobs: int | None = 1) -> FigureSeries:
     """Figure 4(c): fault-tolerance overhead (%) vs granularity, ε = 3."""
     return _panel(
         "figure4c",
@@ -189,22 +199,16 @@ def figure4c(config: ExperimentConfig | None = None) -> FigureSeries:
             "LTF With 2 Crash": "LTF overhead with 2 crash (%)",
         },
         config=config,
+        jobs=jobs,
         description="Average fault-tolerance overhead, epsilon=3",
     )
 
 
 # ------------------------------------------------------------------ ablations
-def ablation_rules(
-    config: ExperimentConfig | None = None, epsilon: int = 1
-) -> FigureSeries:
-    """Ablations A1–A3: Rule 1, the one-to-one procedure, and the chunk size.
-
-    For every granularity the study reports the mean normalized latency of
-    R-LTF, R-LTF without Rule 1, LTF, LTF without the one-to-one mapping, and
-    LTF with a chunk of one task (classical list scheduling); plus the mean
-    number of remote communications of LTF with and without one-to-one.
-    """
-    config = config or bench_config()
+def _ablation_point(
+    granularity: float, config: ExperimentConfig, epsilon: int
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Mean latency (and remote comms) of the ablation variants at one granularity."""
     variants: dict[str, Callable[..., object]] = {
         "R-LTF": lambda g, p, period: rltf_schedule(g, p, period=period, epsilon=epsilon),
         "R-LTF no rule1": lambda g, p, period: rltf_schedule(
@@ -218,37 +222,67 @@ def ablation_rules(
             g, p, period=period, epsilon=epsilon, chunk_size=1
         ),
     }
-    latency: dict[str, list[float]] = {name: [] for name in variants}
-    comms: dict[str, list[float]] = {"LTF": [], "LTF no one-to-one": []}
-    rng = ensure_rng(config.seed)
-    for granularity in config.granularities:
-        buckets: dict[str, list[float]] = {name: [] for name in variants}
-        comm_buckets: dict[str, list[float]] = {name: [] for name in comms}
-        for _ in range(config.num_graphs):
-            workload = random_paper_workload(
-                granularity,
-                seed=rng,
-                num_processors=config.num_processors,
-                task_range=config.task_range,
-            )
-            period = workload_period(workload, epsilon, config)
-            unit = workload.mean_task_time
-            for name, fn in variants.items():
-                try:
-                    schedule = fn(workload.graph, workload.platform, period)
-                except SchedulingError:
-                    continue
-                buckets[name].append(latency_upper_bound(schedule) / unit)
-                if name in comm_buckets:
-                    comm_buckets[name].append(float(communication_count(schedule)))
-        for name in variants:
-            latency[name].append(float(np.mean(buckets[name])) if buckets[name] else float("nan"))
-        for name in comms:
-            comms[name].append(
-                float(np.mean(comm_buckets[name])) if comm_buckets[name] else float("nan")
-            )
-    series = {f"latency {name}": tuple(vals) for name, vals in latency.items()}
-    series.update({f"remote comms {name}": tuple(vals) for name, vals in comms.items()})
+    rng = ensure_rng(point_seed(config, granularity, offset=17 * epsilon))
+    buckets: dict[str, list[float]] = {name: [] for name in variants}
+    comm_buckets: dict[str, list[float]] = {"LTF": [], "LTF no one-to-one": []}
+    for _ in range(config.num_graphs):
+        workload = random_paper_workload(
+            granularity,
+            seed=rng,
+            num_processors=config.num_processors,
+            task_range=config.task_range,
+        )
+        period = workload_period(workload, epsilon, config)
+        unit = workload.mean_task_time
+        for name, fn in variants.items():
+            try:
+                schedule = fn(workload.graph, workload.platform, period)
+            except SchedulingError:
+                continue
+            buckets[name].append(latency_upper_bound(schedule) / unit)
+            if name in comm_buckets:
+                comm_buckets[name].append(float(communication_count(schedule)))
+    latency = {
+        name: float(np.mean(vals)) if vals else float("nan")
+        for name, vals in buckets.items()
+    }
+    comms = {
+        name: float(np.mean(vals)) if vals else float("nan")
+        for name, vals in comm_buckets.items()
+    }
+    return latency, comms
+
+
+def ablation_rules(
+    config: ExperimentConfig | None = None, epsilon: int = 1, jobs: int | None = 1
+) -> FigureSeries:
+    """Ablations A1–A3: Rule 1, the one-to-one procedure, and the chunk size.
+
+    For every granularity the study reports the mean normalized latency of
+    R-LTF, R-LTF without Rule 1, LTF, LTF without the one-to-one mapping, and
+    LTF with a chunk of one task (classical list scheduling); plus the mean
+    number of remote communications of LTF with and without one-to-one.  Each
+    granularity derives its own RNG, so ``jobs > 1`` fans the points across
+    processes without changing the numbers.
+    """
+    config = config or bench_config()
+    points = parallel_map(
+        partial(_ablation_point, config=config, epsilon=epsilon),
+        config.granularities,
+        jobs=jobs,
+    )
+    latency_names = list(points[0][0]) if points else []
+    comm_names = list(points[0][1]) if points else []
+    series = {
+        f"latency {name}": tuple(latency[name] for latency, _ in points)
+        for name in latency_names
+    }
+    series.update(
+        {
+            f"remote comms {name}": tuple(comms[name] for _, comms in points)
+            for name in comm_names
+        }
+    )
     return FigureSeries(
         name="ablation_rules",
         x_label="granularity",
@@ -258,38 +292,48 @@ def ablation_rules(
     )
 
 
-def baseline_comparison(config: ExperimentConfig | None = None) -> FigureSeries:
+def _baseline_point(granularity: float, config: ExperimentConfig) -> dict[str, float]:
+    """Mean fault-free latency of R-LTF and every baseline at one granularity."""
+    names = ["fault-free R-LTF", *sorted(BASELINES)]
+    rng = ensure_rng(point_seed(config, granularity, offset=7))
+    buckets: dict[str, list[float]] = {name: [] for name in names}
+    for _ in range(config.num_graphs):
+        workload = random_paper_workload(
+            granularity,
+            seed=rng,
+            num_processors=config.num_processors,
+            task_range=config.task_range,
+        )
+        period = workload_period(workload, 0, config)
+        unit = workload.mean_task_time
+        try:
+            ff = fault_free_schedule(workload.graph, workload.platform, period=period)
+            buckets["fault-free R-LTF"].append(latency_upper_bound(ff) / unit)
+        except SchedulingError:
+            pass
+        for name in sorted(BASELINES):
+            schedule = BASELINES[name](workload.graph, workload.platform, period=period)
+            buckets[name].append(latency_upper_bound(schedule) / unit)
+    return {
+        name: float(np.mean(vals)) if vals else float("nan")
+        for name, vals in buckets.items()
+    }
+
+
+def baseline_comparison(
+    config: ExperimentConfig | None = None, jobs: int | None = 1
+) -> FigureSeries:
     """Baseline sweep B1: fault-free latency of R-LTF vs the related-work heuristics."""
     config = config or bench_config()
-    names = ["fault-free R-LTF", *sorted(BASELINES)]
-    latency: dict[str, list[float]] = {name: [] for name in names}
-    rng = ensure_rng(config.seed + 7)
-    for granularity in config.granularities:
-        buckets: dict[str, list[float]] = {name: [] for name in names}
-        for _ in range(config.num_graphs):
-            workload = random_paper_workload(
-                granularity,
-                seed=rng,
-                num_processors=config.num_processors,
-                task_range=config.task_range,
-            )
-            period = workload_period(workload, 0, config)
-            unit = workload.mean_task_time
-            try:
-                ff = fault_free_schedule(workload.graph, workload.platform, period=period)
-                buckets["fault-free R-LTF"].append(latency_upper_bound(ff) / unit)
-            except SchedulingError:
-                pass
-            for name in sorted(BASELINES):
-                schedule = BASELINES[name](workload.graph, workload.platform, period=period)
-                buckets[name].append(latency_upper_bound(schedule) / unit)
-        for name in names:
-            latency[name].append(float(np.mean(buckets[name])) if buckets[name] else float("nan"))
+    points = parallel_map(
+        partial(_baseline_point, config=config), config.granularities, jobs=jobs
+    )
+    names = list(points[0]) if points else []
     return FigureSeries(
         name="baseline_comparison",
         x_label="granularity",
         x=tuple(config.granularities),
-        series={name: tuple(vals) for name, vals in latency.items()},
+        series={name: tuple(point[name] for point in points) for name in names},
         description="Normalized fault-free latency of R-LTF vs related-work heuristics",
     )
 

@@ -8,9 +8,20 @@
 * :mod:`repro.failures.simulator` — an event-driven simulator of the pipelined
   execution of consecutive data sets, with or without crashes, used to
   validate the analytic latency model ``L = (2S−1)·Δ``.
+
+The module also provides the *timed* failure model consumed by the online
+runtime (:mod:`repro.runtime`): :class:`~repro.failures.scenarios.FaultTrace`
+and :func:`~repro.failures.scenarios.sample_fault_trace`.
 """
 
-from repro.failures.scenarios import CrashScenario, sample_crash_scenarios, all_crash_scenarios
+from repro.failures.scenarios import (
+    CrashScenario,
+    sample_crash_scenarios,
+    all_crash_scenarios,
+    FaultEvent,
+    FaultTrace,
+    sample_fault_trace,
+)
 from repro.failures.evaluation import (
     CrashEvaluation,
     crash_latency,
@@ -23,6 +34,9 @@ __all__ = [
     "CrashScenario",
     "sample_crash_scenarios",
     "all_crash_scenarios",
+    "FaultEvent",
+    "FaultTrace",
+    "sample_fault_trace",
     "CrashEvaluation",
     "crash_latency",
     "evaluate_crashes",

@@ -33,6 +33,7 @@ from repro.failures.scenarios import CrashScenario, sample_crash_scenarios
 from repro.schedule.schedule import Schedule
 from repro.schedule.stages import num_stages
 from repro.utils.checks import check_positive
+from repro.utils.rng import ensure_rng
 
 __all__ = [
     "CrashEvaluation",
@@ -99,8 +100,15 @@ def evaluate_crashes(
     seed: int | np.random.Generator | None = None,
     on_invalid: str = "raise",
 ) -> list[CrashEvaluation]:
-    """Evaluate *samples* random crash scenarios of *crashes* processors each."""
-    scenarios = sample_crash_scenarios(schedule.platform, crashes, samples, seed)
+    """Evaluate *samples* random crash scenarios of *crashes* processors each.
+
+    The crash patterns are drawn from a generator coerced once with
+    :func:`repro.utils.rng.ensure_rng`, so an ``int`` seed makes the whole
+    evaluation deterministic and a shared generator (as passed by the
+    experiment campaign) advances exactly once per sampled scenario.
+    """
+    rng = ensure_rng(seed)
+    scenarios = sample_crash_scenarios(schedule.platform, crashes, samples, rng)
     return [crash_latency(schedule, sc, on_invalid=on_invalid) for sc in scenarios]
 
 
@@ -112,7 +120,18 @@ def expected_crash_latency(
     unit: float = 1.0,
     on_invalid: str = "raise",
 ) -> float:
-    """Mean crash latency over random scenarios, optionally normalized by *unit*."""
+    """Mean crash latency over random scenarios, optionally normalized by *unit*.
+
+    Seed flow (end-to-end reproducibility): *seed* may be an ``int`` (a fresh
+    generator is derived from it and the result only depends on its value), an
+    existing :class:`numpy.random.Generator` (the campaign threads one shared
+    generator through every evaluation of a point, consuming one draw per
+    scenario), or ``None`` (fresh OS entropy — not reproducible).  The seed is
+    coerced exactly once here and handed to
+    :func:`~repro.failures.scenarios.sample_crash_scenarios`; no other random
+    draw is involved, so two calls with the same integer seed return the same
+    value bit-for-bit.
+    """
     check_positive(unit, "unit")
     if crashes == 0:
         # No crash: the execution still proceeds on the first arriving input of

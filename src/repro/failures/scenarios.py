@@ -1,4 +1,4 @@
-"""Crash-scenario generation.
+"""Crash-scenario generation — static crash sets and timed fault traces.
 
 A *crash scenario* is simply the set of processors that fail (fail-silent /
 fail-stop: a failed processor produces no output and never recovers).  The
@@ -6,19 +6,38 @@ experiments of the paper evaluate each schedule under ``c`` crashes with the
 failed processors drawn uniformly among the platform; this module provides
 both random sampling and exhaustive enumeration (used by the validation
 tests).
+
+The online runtime (:mod:`repro.runtime`) needs the *dynamic* counterpart: a
+timed sequence of failure (and optionally repair) events.  A
+:class:`FaultTrace` records such a sequence; :func:`sample_fault_trace` draws
+one from a per-processor renewal process with exponential or Weibull
+inter-failure times, seeded through :func:`repro.utils.rng.ensure_rng` so that
+Monte-Carlo campaigns are reproducible.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.platform.platform import Platform
+from repro.utils.checks import check_positive
 from repro.utils.rng import ensure_rng
 
-__all__ = ["CrashScenario", "sample_crash_scenarios", "all_crash_scenarios"]
+__all__ = [
+    "CrashScenario",
+    "sample_crash_scenarios",
+    "all_crash_scenarios",
+    "FaultEvent",
+    "FaultTrace",
+    "sample_fault_trace",
+]
+
+#: fault-arrival distributions understood by :func:`sample_fault_trace`.
+FAULT_DISTRIBUTIONS = ("exponential", "weibull")
 
 
 @dataclass(frozen=True)
@@ -79,3 +98,126 @@ def all_crash_scenarios(platform: Platform, crashes: int) -> list[CrashScenario]
         CrashScenario(frozenset(combo))
         for combo in itertools.combinations(platform.processor_names, crashes)
     ]
+
+
+# ------------------------------------------------------------- timed fault traces
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed event of a fault trace: a processor crashes or comes back."""
+
+    time: float
+    processor: str
+    kind: str  # "crash" | "repair"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "repair"):
+            raise ValueError(f"kind must be 'crash' or 'repair', got {self.kind!r}")
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+
+    @property
+    def is_crash(self) -> bool:
+        return self.kind == "crash"
+
+
+@dataclass(frozen=True)
+class FaultTrace:
+    """A time-ordered sequence of crash/repair events over a horizon.
+
+    The trace is purely descriptive (it does not know about schedules); the
+    online runtime interprets it.  Events are sorted by ``(time, processor)``
+    at construction.
+    """
+
+    events: tuple[FaultEvent, ...]
+    horizon: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.horizon, "horizon")
+        ordered = tuple(sorted(self.events, key=lambda e: (e.time, e.processor, e.kind)))
+        object.__setattr__(self, "events", ordered)
+
+    @property
+    def num_crashes(self) -> int:
+        """Total number of crash events in the trace."""
+        return sum(1 for e in self.events if e.is_crash)
+
+    @property
+    def crashed_processors(self) -> frozenset[str]:
+        """Every processor that crashes at least once."""
+        return frozenset(e.processor for e in self.events if e.is_crash)
+
+    def failed_at(self, time: float) -> frozenset[str]:
+        """Processors down at *time* (crashes and repairs up to and including it)."""
+        down: set[str] = set()
+        for event in self.events:
+            if event.time > time:
+                break
+            if event.is_crash:
+                down.add(event.processor)
+            else:
+                down.discard(event.processor)
+        return frozenset(down)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _inter_failure_time(
+    rng: np.random.Generator, distribution: str, mttf: float, shape: float
+) -> float:
+    if distribution == "exponential":
+        return float(rng.exponential(mttf))
+    # Weibull with mean mttf: scale = mttf / Gamma(1 + 1/shape).
+    scale = mttf / math.gamma(1.0 + 1.0 / shape)
+    return float(scale * rng.weibull(shape))
+
+
+def sample_fault_trace(
+    platform: Platform,
+    horizon: float,
+    mttf: float,
+    distribution: str = "exponential",
+    shape: float = 1.5,
+    mttr: float | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> FaultTrace:
+    """Draw a timed fault trace over ``[0, horizon)`` for every processor.
+
+    Each processor follows an independent renewal process: its first failure
+    arrives after an exponential(*mttf*) or Weibull(*shape*, mean *mttf*) delay.
+    When *mttr* is ``None`` the failure is terminal (fail-stop, as in the
+    paper); otherwise the processor is repaired after an exponential(*mttr*)
+    delay and may fail again, until the horizon is exceeded.
+
+    Processors are visited in platform declaration order with a single
+    generator, so a given seed always produces the same trace.
+    """
+    check_positive(horizon, "horizon")
+    check_positive(mttf, "mttf")
+    check_positive(shape, "shape")
+    if mttr is not None:
+        check_positive(mttr, "mttr")
+    if distribution not in FAULT_DISTRIBUTIONS:
+        raise ValueError(
+            f"distribution must be one of {FAULT_DISTRIBUTIONS}, got {distribution!r}"
+        )
+    rng = ensure_rng(seed)
+    events: list[FaultEvent] = []
+    for name in platform.processor_names:
+        t = 0.0
+        while True:
+            t += _inter_failure_time(rng, distribution, mttf, shape)
+            if t >= horizon:
+                break
+            events.append(FaultEvent(t, name, "crash"))
+            if mttr is None:
+                break
+            t += float(rng.exponential(mttr))
+            if t >= horizon:
+                break
+            events.append(FaultEvent(t, name, "repair"))
+    return FaultTrace(events=tuple(events), horizon=horizon)

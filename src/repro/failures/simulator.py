@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -108,13 +108,38 @@ class StreamingSimulator:
                 )
 
     # ------------------------------------------------------------------ running
-    def run(self, num_datasets: int = 10) -> SimulationResult:
-        """Simulate *num_datasets* consecutive data sets and return their latencies."""
+    def run(
+        self,
+        num_datasets: int = 10,
+        release_times: Sequence[float] | None = None,
+    ) -> SimulationResult:
+        """Simulate *num_datasets* consecutive data sets and return their latencies.
+
+        Parameters
+        ----------
+        release_times:
+            Optional per-dataset release instants (non-decreasing, one per data
+            set).  By default data set ``j`` enters the system at ``j·Δ``; the
+            online runtime passes explicit admission times so that a stream
+            segment can resume mid-trace.
+        """
         if num_datasets < 1:
             raise ValueError(f"num_datasets must be >= 1, got {num_datasets}")
         schedule = self.schedule
         graph = schedule.graph
         period = schedule.period
+        if release_times is None:
+            releases = [j * period for j in range(num_datasets)]
+        else:
+            releases = [float(t) for t in release_times]
+            if len(releases) != num_datasets:
+                raise ValueError(
+                    f"release_times has {len(releases)} entries, expected {num_datasets}"
+                )
+            if any(b < a for a, b in zip(releases, releases[1:])) or (
+                releases and releases[0] < 0
+            ):
+                raise ValueError("release_times must be non-negative and non-decreasing")
 
         states: dict[Replica, _ReplicaState] = {}
         for replica in schedule.all_replicas():
@@ -165,7 +190,7 @@ class StreamingSimulator:
         for replica, state in states.items():
             if not state.needed:
                 for dataset in range(num_datasets):
-                    push(dataset * period, "release", (replica, dataset))
+                    push(releases[dataset], "release", (replica, dataset))
 
         exit_tasks = graph.exit_tasks()
         exit_done: dict[int, dict[str, float]] = {j: {} for j in range(num_datasets)}
@@ -209,7 +234,7 @@ class StreamingSimulator:
                     f"data set {dataset} never completed — inconsistent schedule or scenario"
                 )
             completions.append(completion[dataset])
-            latencies.append(completion[dataset] - dataset * period)
+            latencies.append(completion[dataset] - releases[dataset])
         return SimulationResult(
             latencies=tuple(latencies),
             completion_times=tuple(completions),

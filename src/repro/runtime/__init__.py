@@ -1,0 +1,51 @@
+"""Online streaming runtime: live execution under stochastic failures.
+
+The static side of the reproduction builds an ε-fault-tolerant schedule once
+and evaluates fixed crash sets against it.  This package is the dynamic
+counterpart:
+
+* :mod:`repro.runtime.engine` — :class:`OnlineRuntime`, a discrete-event
+  executor that streams data sets through a schedule while a timed fault
+  process injects crashes, tolerating failures within the ε guarantee and
+  rebuilding the schedule online beyond it;
+* :mod:`repro.runtime.policies` — the online rescheduling policies (re-run
+  R-LTF on the survivors, or remap the dead replicas onto survivors);
+* :mod:`repro.runtime.trace` — the :class:`RuntimeTrace` execution record
+  (per-dataset latency, downtime, rebuilds) and its aggregation;
+* :mod:`repro.runtime.montecarlo` — one seeded Monte-Carlo trial, fanned out
+  in parallel by :mod:`repro.experiments.parallel`.
+"""
+
+from repro.runtime.engine import OnlineRuntime, run_online
+from repro.runtime.policies import (
+    ReschedulePolicy,
+    RLTFReschedulePolicy,
+    RemapReschedulePolicy,
+    RESCHEDULE_POLICIES,
+    resolve_policy,
+)
+from repro.runtime.trace import (
+    DatasetRecord,
+    RuntimeEvent,
+    RuntimeTrace,
+    RuntimeStats,
+    summarize_traces,
+)
+from repro.runtime.montecarlo import RuntimeTrialSpec, run_trial
+
+__all__ = [
+    "OnlineRuntime",
+    "run_online",
+    "ReschedulePolicy",
+    "RLTFReschedulePolicy",
+    "RemapReschedulePolicy",
+    "RESCHEDULE_POLICIES",
+    "resolve_policy",
+    "DatasetRecord",
+    "RuntimeEvent",
+    "RuntimeTrace",
+    "RuntimeStats",
+    "summarize_traces",
+    "RuntimeTrialSpec",
+    "run_trial",
+]

@@ -1,0 +1,293 @@
+"""The online streaming runtime: execute a schedule while processors fail.
+
+:class:`OnlineRuntime` drives a :class:`~repro.schedule.schedule.Schedule`
+over an open-ended stream while a :class:`~repro.failures.scenarios.FaultTrace`
+injects crashes (and optionally repairs) mid-stream.  The execution model:
+
+* data set ``j`` is released at ``j·Δ`` where ``Δ`` is the period of the
+  *initial* schedule (the source rate never changes);
+* the timeline is cut into **segments** of constant state (current schedule +
+  set of processors failed against it).  Within a segment, admitted data sets
+  are executed by the event-driven :class:`~repro.failures.simulator.
+  StreamingSimulator` under the segment's crash set, so with zero fault
+  arrivals the runtime reproduces the offline simulation exactly;
+* a crash that leaves every exit task with a valid replica — the active
+  replication absorbing it — is **tolerated**: the stream continues on the
+  surviving replicas at a degraded latency;
+* a crash beyond the surviving guarantee (no valid exit replica, or more than
+  ``ε`` crashes charged against the current schedule when
+  ``rebuild_beyond_epsilon`` is set) triggers an **online rebuild**: the
+  rescheduling policy (:mod:`repro.runtime.policies`) builds a new schedule on
+  the survivors.  The rebuild takes ``rebuild_overhead·Δ`` time units of
+  downtime during which released data sets are lost;
+* a rebuilt schedule may have a longer period (the survivors cannot sustain
+  the source rate) or overloaded processors (remap policy) — the runtime then
+  throttles admission to the achievable rate and *sheds* the excess data sets;
+* repaired processors rejoin the candidate pool of the *next* rebuild (a
+  processor lost its state when it crashed, so the current schedule never
+  resurrects it); ``rebuild_on_repair=True`` additionally triggers a rebuild
+  to reclaim the capacity immediately;
+* when no schedule can be built on the survivors the stream **aborts** and
+  every remaining data set is lost.
+
+Model simplification (documented, deliberate): a data set's fate is decided by
+the runtime state at its release time — data sets in flight when a crash lands
+are re-evaluated under the new segment only if released after it.  Each
+segment restarts the pipeline (the warm-up transient is paid again after a
+state change), which mirrors a flush-and-restart runtime.
+
+The resulting :class:`~repro.runtime.trace.RuntimeTrace` is a pure function of
+``(schedule, fault_trace, options)``: two runs with the same inputs produce
+equal traces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import ScheduleError, SchedulingError
+from repro.failures.scenarios import CrashScenario, FaultEvent, FaultTrace
+from repro.failures.simulator import StreamingSimulator
+from repro.runtime.policies import ReschedulePolicy, resolve_policy
+from repro.runtime.trace import DatasetRecord, RuntimeEvent, RuntimeTrace
+from repro.schedule.schedule import Schedule
+from repro.schedule.validation import valid_replicas_under_failures
+
+__all__ = ["OnlineRuntime", "run_online"]
+
+_INF = float("inf")
+
+
+def _effective_period(schedule: Schedule) -> float:
+    """Admission spacing of *schedule*: its period, or its real cycle time when
+    the mapping is overloaded (remap fallback after heavy failures)."""
+    if schedule.max_cycle_time <= schedule.period * (1 + 1e-6):
+        return schedule.period
+    return schedule.max_cycle_time
+
+
+class OnlineRuntime:
+    """Discrete-event online executor (see module docstring)."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        fault_trace: FaultTrace | Iterable[FaultEvent],
+        policy: str | ReschedulePolicy = "rltf",
+        rebuild_overhead: float = 1.0,
+        rebuild_beyond_epsilon: bool = True,
+        rebuild_on_repair: bool = False,
+    ):
+        if not schedule.is_complete():
+            raise ScheduleError("cannot run an incomplete schedule online")
+        if rebuild_overhead < 0:
+            raise ValueError(f"rebuild_overhead must be >= 0, got {rebuild_overhead}")
+        if not isinstance(fault_trace, FaultTrace):
+            events = tuple(fault_trace)
+            horizon = max([e.time for e in events], default=0.0) + schedule.period
+            fault_trace = FaultTrace(events=events, horizon=max(horizon, schedule.period))
+        self.schedule = schedule
+        self.fault_trace = fault_trace
+        self.policy = resolve_policy(policy)
+        self.rebuild_overhead = float(rebuild_overhead)
+        self.rebuild_beyond_epsilon = bool(rebuild_beyond_epsilon)
+        self.rebuild_on_repair = bool(rebuild_on_repair)
+
+    # ---------------------------------------------------------------- execution
+    def run(self, num_datasets: int = 100) -> RuntimeTrace:
+        """Stream *num_datasets* consecutive data sets through the fault trace."""
+        if num_datasets < 1:
+            raise ValueError(f"num_datasets must be >= 1, got {num_datasets}")
+        initial = self.schedule
+        graph = initial.graph
+        platform0 = initial.platform
+        period = initial.period
+        tol = 1e-9 * period
+        horizon = num_datasets * period
+        releases = [j * period for j in range(num_datasets)]
+        fault_events = [e for e in self.fault_trace.events if e.time < horizon]
+
+        records: list[DatasetRecord | None] = [None] * num_datasets
+        log: list[RuntimeEvent] = []
+
+        # --- mutable runtime state
+        schedule: Schedule | None = initial
+        used: frozenset[str] = frozenset(initial.used_processors())
+        failed_cur: set[str] = set()  # failures charged against `schedule`
+        dead: set[str] = set()  # globally down processors (repairs remove)
+        seg_start = 0.0
+        next_j = 0  # next dataset index to place
+        next_slot = 0.0  # earliest admission instant (one per effective period)
+        admit_period = _effective_period(initial)
+        rebuilding = False
+        rebuild_done = _INF
+        down_since: float | None = None
+        downtime = 0.0
+        rebuilds = 0
+        aborted = False
+        abort_time = _INF
+
+        def flush(end: float) -> None:
+            """Decide the fate of data sets released in ``[seg_start, end)``."""
+            nonlocal next_j, next_slot
+            admitted: list[tuple[int, float]] = []
+            while next_j < num_datasets and releases[next_j] < end - tol:
+                r = releases[next_j]
+                if aborted:
+                    records[next_j] = DatasetRecord(next_j, r, None, "lost-abort")
+                elif rebuilding:
+                    records[next_j] = DatasetRecord(next_j, r, None, "lost-downtime")
+                elif r >= next_slot - tol:
+                    admitted.append((next_j, r))
+                    next_slot = r + admit_period
+                else:
+                    records[next_j] = DatasetRecord(next_j, r, None, "shed")
+                next_j += 1
+            if admitted and schedule is not None:
+                # A data set released within float tolerance of the segment
+                # start can land a hair before it; clamp to keep the simulator
+                # releases non-negative (its recorded release stays exact).
+                sim = StreamingSimulator(
+                    schedule, CrashScenario(frozenset(failed_cur))
+                ).run(
+                    len(admitted),
+                    release_times=[max(0.0, r - seg_start) for _, r in admitted],
+                )
+                for k, (j, r) in enumerate(admitted):
+                    records[j] = DatasetRecord(
+                        j, r, seg_start + sim.completion_times[k], "completed"
+                    )
+
+        def start_rebuild(now: float, kind: str, processor: str | None) -> None:
+            nonlocal rebuilding, rebuild_done, down_since
+            rebuilding = True
+            down_since = now
+            rebuild_done = now + self.rebuild_overhead * period
+            log.append(RuntimeEvent(now, kind, processor))
+
+        def abort(now: float, reason: str) -> None:
+            nonlocal aborted, schedule, abort_time
+            aborted = True
+            schedule = None
+            abort_time = now
+            log.append(RuntimeEvent(now, "abort", None, reason))
+
+        i = 0
+        while True:
+            next_fault = fault_events[i].time if i < len(fault_events) else _INF
+            now = min(next_fault, rebuild_done, horizon)
+            flush(now)
+            if now >= horizon:
+                break
+
+            if rebuilding and rebuild_done <= next_fault:
+                # ------------------------------------------------ rebuild done
+                rebuilding = False
+                rebuild_done = _INF
+                downtime += now - down_since
+                down_since = None
+                rebuilds += 1
+                survivors = [p for p in platform0.processor_names if p not in dead]
+                if not survivors:
+                    abort(now, "no surviving processor")
+                else:
+                    target_eps = min(initial.epsilon, len(survivors) - 1)
+                    try:
+                        schedule = self.policy.reschedule(
+                            graph,
+                            platform0.subset(survivors),
+                            period,
+                            target_eps,
+                            previous=schedule or initial,
+                        )
+                    except SchedulingError as exc:
+                        abort(now, f"reschedule failed: {exc}")
+                    else:
+                        used = frozenset(schedule.used_processors())
+                        failed_cur = set()
+                        admit_period = _effective_period(schedule)
+                        next_slot = now
+                        log.append(
+                            RuntimeEvent(
+                                now,
+                                "rebuild-complete",
+                                None,
+                                f"{len(survivors)} survivors, epsilon={schedule.epsilon}, "
+                                f"period={schedule.period:g}",
+                            )
+                        )
+                seg_start = now
+                continue
+
+            event = fault_events[i]
+            i += 1
+            if event.is_crash:
+                if event.processor in dead:
+                    continue
+                dead.add(event.processor)
+                if aborted:
+                    continue
+                if rebuilding:
+                    # Restart the rebuild clock: the survivor set just changed.
+                    rebuild_done = now + self.rebuild_overhead * period
+                    log.append(RuntimeEvent(now, "crash-during-rebuild", event.processor))
+                    continue
+                if event.processor not in used:
+                    log.append(RuntimeEvent(now, "crash-unused", event.processor))
+                    continue
+                failed_cur.add(event.processor)
+                valid = valid_replicas_under_failures(schedule, failed_cur)
+                survives = all(valid[t] for t in graph.exit_tasks())
+                within_guarantee = len(failed_cur) <= schedule.epsilon
+                if survives and (within_guarantee or not self.rebuild_beyond_epsilon):
+                    log.append(
+                        RuntimeEvent(
+                            now,
+                            "crash-tolerated",
+                            event.processor,
+                            f"{len(failed_cur)}/{schedule.epsilon} crashes absorbed",
+                        )
+                    )
+                    seg_start = now
+                else:
+                    start_rebuild(now, "crash-rebuild", event.processor)
+                    seg_start = now
+            else:  # repair
+                dead.discard(event.processor)
+                log.append(RuntimeEvent(now, "repair", event.processor))
+                if self.rebuild_on_repair and not rebuilding and not aborted:
+                    start_rebuild(now, "repair-rebuild", event.processor)
+                    seg_start = now
+
+        if rebuilding and down_since is not None:
+            downtime += horizon - down_since
+        if aborted and abort_time < horizon:
+            # An aborted stream accepts nothing for the rest of the horizon.
+            downtime += horizon - abort_time
+
+        assert all(r is not None for r in records)
+        return RuntimeTrace(
+            records=tuple(records),
+            events=tuple(log),
+            period=period,
+            horizon=horizon,
+            num_rebuilds=rebuilds,
+            downtime=downtime,
+            aborted=aborted,
+            final_alive=tuple(p for p in platform0.processor_names if p not in dead),
+            policy=self.policy.name,
+        )
+
+
+def run_online(
+    schedule: Schedule,
+    fault_trace: FaultTrace | Iterable[FaultEvent],
+    num_datasets: int = 100,
+    policy: str | ReschedulePolicy = "rltf",
+    rebuild_overhead: float = 1.0,
+) -> RuntimeTrace:
+    """Convenience wrapper: run *schedule* online through *fault_trace*."""
+    runtime = OnlineRuntime(
+        schedule, fault_trace, policy=policy, rebuild_overhead=rebuild_overhead
+    )
+    return runtime.run(num_datasets)

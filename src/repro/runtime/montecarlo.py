@@ -1,0 +1,139 @@
+"""One Monte-Carlo trial of the online runtime.
+
+A trial is a pure, picklable function of ``(spec, seed)`` — the parallel
+campaign engine (:mod:`repro.experiments.parallel`) fans trials out across
+processes and the result must not depend on how many workers ran them.  Each
+trial derives two child seeds from its own seed (workload, fault trace), so
+trials are mutually independent and individually reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.ltf import ltf_schedule
+from repro.core.rltf import rltf_schedule
+from repro.exceptions import SchedulingError
+from repro.failures.scenarios import FAULT_DISTRIBUTIONS, sample_fault_trace
+from repro.graph.generator import random_paper_workload
+from repro.runtime.engine import OnlineRuntime
+from repro.runtime.trace import RuntimeTrace
+from repro.utils.checks import check_positive
+from repro.utils.rng import derive_seed, ensure_rng
+
+__all__ = ["RuntimeTrialSpec", "run_trial"]
+
+
+@dataclass(frozen=True)
+class RuntimeTrialSpec:
+    """Parameters of one online-runtime Monte-Carlo trial.
+
+    Times are expressed in multiples of the schedule period ``Δ`` so that a
+    spec is meaningful across workloads: ``mttf_periods=60`` means a processor
+    fails on average after 60 stream iterations.
+    """
+
+    granularity: float = 1.0
+    num_tasks: int = 30
+    num_processors: int = 10
+    epsilon: int = 2
+    num_datasets: int = 200
+    mttf_periods: float = 500.0
+    distribution: str = "exponential"
+    weibull_shape: float = 1.5
+    mttr_periods: float | None = None
+    policy: str = "rltf"
+    rebuild_overhead: float = 1.0
+    period_slack: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.granularity, "granularity")
+        check_positive(self.mttf_periods, "mttf_periods")
+        check_positive(self.weibull_shape, "weibull_shape")
+        check_positive(self.period_slack, "period_slack")
+        if self.mttr_periods is not None:
+            check_positive(self.mttr_periods, "mttr_periods")
+        if self.num_tasks < 2:
+            raise ValueError(f"num_tasks must be >= 2, got {self.num_tasks}")
+        if self.num_processors < 2:
+            raise ValueError(f"num_processors must be >= 2, got {self.num_processors}")
+        if self.epsilon < 0 or self.epsilon >= self.num_processors:
+            raise ValueError(
+                f"epsilon={self.epsilon} needs 0 <= epsilon < {self.num_processors}"
+            )
+        if self.num_datasets < 1:
+            raise ValueError(f"num_datasets must be >= 1, got {self.num_datasets}")
+        if self.distribution not in FAULT_DISTRIBUTIONS:
+            raise ValueError(
+                f"distribution must be one of {FAULT_DISTRIBUTIONS}, "
+                f"got {self.distribution!r}"
+            )
+        if self.rebuild_overhead < 0:
+            raise ValueError(
+                f"rebuild_overhead must be >= 0, got {self.rebuild_overhead}"
+            )
+
+    def with_overrides(self, **kwargs) -> "RuntimeTrialSpec":
+        """A copy of the spec with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+def run_trial(spec: RuntimeTrialSpec, seed: int) -> RuntimeTrace:
+    """Run one seeded trial: workload → schedule → fault trace → online run.
+
+    Deterministic: the trace only depends on ``(spec, seed)``.  If neither
+    R-LTF nor LTF can schedule the generated workload the trial degrades to
+    ``epsilon=0`` (the online rebuild machinery still exercises the failures).
+    """
+    # Imported lazily: repro.experiments.parallel imports this module, so a
+    # top-level import of repro.experiments.config would close a cycle through
+    # the repro.experiments package __init__.
+    from repro.experiments.config import ExperimentConfig, workload_period
+
+    rng = ensure_rng(seed)
+    workload_seed = derive_seed(rng)
+    fault_seed = derive_seed(rng)
+
+    workload = random_paper_workload(
+        spec.granularity,
+        seed=workload_seed,
+        num_tasks=spec.num_tasks,
+        num_processors=spec.num_processors,
+    )
+    config = ExperimentConfig(period_slack=spec.period_slack)
+    period = workload_period(workload, spec.epsilon, config)
+    schedule = None
+    for epsilon in dict.fromkeys((spec.epsilon, max(0, spec.epsilon - 1), 0)):
+        for scheduler in (rltf_schedule, ltf_schedule):
+            try:
+                schedule = scheduler(
+                    workload.graph, workload.platform, period=period, epsilon=epsilon
+                )
+                break
+            except SchedulingError:
+                continue
+        if schedule is not None:
+            break
+    if schedule is None:
+        raise SchedulingError(
+            f"no schedule found for trial seed {seed} (granularity {spec.granularity})"
+        )
+
+    fault_trace = sample_fault_trace(
+        workload.platform,
+        horizon=spec.num_datasets * schedule.period,
+        mttf=spec.mttf_periods * schedule.period,
+        distribution=spec.distribution,
+        shape=spec.weibull_shape,
+        mttr=None
+        if spec.mttr_periods is None
+        else spec.mttr_periods * schedule.period,
+        seed=fault_seed,
+    )
+    runtime = OnlineRuntime(
+        schedule,
+        fault_trace,
+        policy=spec.policy,
+        rebuild_overhead=spec.rebuild_overhead,
+    )
+    return runtime.run(spec.num_datasets)

@@ -1,0 +1,218 @@
+"""Execution record of one online streaming run.
+
+The online runtime (:mod:`repro.runtime.engine`) produces a
+:class:`RuntimeTrace`: one :class:`DatasetRecord` per data set of the stream
+(completed with a latency, or lost with a reason), one :class:`RuntimeEvent`
+per runtime decision (tolerated crash, rebuild, repair, abort), and aggregate
+statistics (downtime, rebuild count, achieved period).
+
+Everything here is a frozen dataclass built from plain floats and strings, so
+traces compare with ``==`` (two runs with the same seed must produce *equal*
+traces), pickle across process boundaries (the Monte-Carlo engine fans trials
+out with :mod:`concurrent.futures`), and aggregate cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["DatasetRecord", "RuntimeEvent", "RuntimeTrace", "RuntimeStats", "summarize_traces"]
+
+#: terminal states of one data set of the stream.
+DATASET_STATUSES = ("completed", "lost-downtime", "shed", "lost-abort")
+
+
+@dataclass(frozen=True)
+class DatasetRecord:
+    """Fate of one data set of the stream."""
+
+    index: int
+    release: float
+    completion: float | None
+    status: str  # one of DATASET_STATUSES
+
+    def __post_init__(self) -> None:
+        if self.status not in DATASET_STATUSES:
+            raise ValueError(f"unknown dataset status {self.status!r}")
+        if (self.completion is None) == (self.status == "completed"):
+            raise ValueError(
+                f"dataset {self.index}: status {self.status!r} inconsistent with "
+                f"completion {self.completion!r}"
+            )
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+    @property
+    def latency(self) -> float | None:
+        """Completion minus release time (``None`` for lost data sets)."""
+        if self.completion is None:
+            return None
+        return self.completion - self.release
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One logged runtime decision."""
+
+    time: float
+    kind: str  # crash-tolerated | crash-rebuild | crash-unused | crash-during-rebuild
+    #          # | rebuild-complete | repair | repair-rebuild | abort
+    processor: str | None = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RuntimeTrace:
+    """Complete record of one online run (see module docstring)."""
+
+    records: tuple[DatasetRecord, ...]
+    events: tuple[RuntimeEvent, ...]
+    period: float
+    horizon: float
+    num_rebuilds: int
+    downtime: float
+    aborted: bool
+    final_alive: tuple[str, ...]
+    policy: str
+
+    # ------------------------------------------------------------------ counts
+    @property
+    def num_datasets(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for r in self.records if r.completed)
+
+    @property
+    def lost_count(self) -> int:
+        return self.num_datasets - self.completed_count
+
+    def lost_by_reason(self) -> dict[str, int]:
+        """Number of lost data sets per status (``shed``, ``lost-downtime``...)."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            if not r.completed:
+                out[r.status] = out.get(r.status, 0) + 1
+        return out
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of the stream that never completed."""
+        if not self.records:
+            return 0.0
+        return self.lost_count / self.num_datasets
+
+    # ---------------------------------------------------------------- latencies
+    @property
+    def latencies(self) -> tuple[float, ...]:
+        """Latency of every completed data set, in stream order."""
+        return tuple(r.latency for r in self.records if r.completed)
+
+    @property
+    def mean_latency(self) -> float:
+        lats = self.latencies
+        return float(np.mean(lats)) if lats else float("nan")
+
+    @property
+    def max_latency(self) -> float:
+        lats = self.latencies
+        return float(max(lats)) if lats else float("nan")
+
+    @property
+    def achieved_period(self) -> float:
+        """Average inter-completion gap over the tail half of the completions.
+
+        Mirrors :attr:`repro.failures.simulator.SimulationResult.achieved_period`
+        so that, with zero fault arrivals, the runtime and the offline
+        simulator report the same number.
+        """
+        completions = [r.completion for r in self.records if r.completed]
+        if len(completions) < 2:
+            return self.period
+        gaps = np.diff(completions)
+        tail = gaps[len(gaps) // 2 :]
+        return float(np.mean(tail)) if len(tail) else self.period
+
+    # -------------------------------------------------------------- availability
+    @property
+    def availability(self) -> float:
+        """Fraction of the horizon the runtime was accepting data sets."""
+        if self.horizon <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.downtime / self.horizon)
+
+    def events_of_kind(self, kind: str) -> tuple[RuntimeEvent, ...]:
+        return tuple(e for e in self.events if e.kind == kind)
+
+    def __repr__(self) -> str:
+        return (
+            f"RuntimeTrace(datasets={self.num_datasets}, completed={self.completed_count}, "
+            f"rebuilds={self.num_rebuilds}, downtime={self.downtime:g}, "
+            f"aborted={self.aborted})"
+        )
+
+
+@dataclass(frozen=True)
+class RuntimeStats:
+    """Aggregate statistics over a collection of runtime traces."""
+
+    trials: int
+    aborted_trials: int
+    mean_rebuilds: float
+    mean_downtime: float
+    mean_availability: float
+    mean_loss_rate: float
+    mean_latency: float
+    mean_achieved_period: float
+    total_crashes: int
+    lost_by_reason: dict[str, int] = field(default_factory=dict)
+
+    def as_rows(self) -> list[list[object]]:
+        """Rows ``[statistic, value]`` for ASCII reporting."""
+        rows: list[list[object]] = [
+            ["trials", self.trials],
+            ["aborted trials", self.aborted_trials],
+            ["crash events (total)", self.total_crashes],
+            ["rebuilds (mean/trial)", self.mean_rebuilds],
+            ["downtime (mean/trial)", self.mean_downtime],
+            ["availability (mean)", self.mean_availability],
+            ["loss rate (mean)", self.mean_loss_rate],
+            ["latency (mean, completed)", self.mean_latency],
+            ["achieved period (mean)", self.mean_achieved_period],
+        ]
+        for reason in sorted(self.lost_by_reason):
+            rows.append([f"lost: {reason} (total)", self.lost_by_reason[reason]])
+        return rows
+
+
+def summarize_traces(traces: Sequence[RuntimeTrace] | Iterable[RuntimeTrace]) -> RuntimeStats:
+    """Aggregate *traces* into a :class:`RuntimeStats`."""
+    traces = list(traces)
+    if not traces:
+        raise ValueError("cannot summarize an empty collection of traces")
+    lost: dict[str, int] = {}
+    for trace in traces:
+        for reason, count in trace.lost_by_reason().items():
+            lost[reason] = lost.get(reason, 0) + count
+    latencies = [t.mean_latency for t in traces if t.completed_count]
+    crashes = sum(
+        len([e for e in t.events if e.kind.startswith("crash")]) for t in traces
+    )
+    return RuntimeStats(
+        trials=len(traces),
+        aborted_trials=sum(1 for t in traces if t.aborted),
+        mean_rebuilds=float(np.mean([t.num_rebuilds for t in traces])),
+        mean_downtime=float(np.mean([t.downtime for t in traces])),
+        mean_availability=float(np.mean([t.availability for t in traces])),
+        mean_loss_rate=float(np.mean([t.loss_rate for t in traces])),
+        mean_latency=float(np.mean(latencies)) if latencies else float("nan"),
+        mean_achieved_period=float(np.mean([t.achieved_period for t in traces])),
+        total_crashes=crashes,
+        lost_by_reason=lost,
+    )

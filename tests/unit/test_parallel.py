@@ -1,0 +1,102 @@
+"""Unit tests for the parallel Monte-Carlo campaign engine."""
+
+import pytest
+
+from repro.experiments.campaign import run_campaign
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import ablation_rules, baseline_comparison
+from repro.experiments.parallel import (
+    parallel_map,
+    run_runtime_campaign,
+)
+from repro.runtime.montecarlo import RuntimeTrialSpec, run_trial
+
+TINY = ExperimentConfig(
+    granularities=(0.5, 1.5),
+    num_graphs=1,
+    num_processors=10,
+    task_range=(20, 25),
+    crash_samples=2,
+    seed=1,
+)
+
+SPEC = RuntimeTrialSpec(
+    num_tasks=15,
+    num_processors=6,
+    epsilon=1,
+    num_datasets=30,
+    mttf_periods=40.0,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(8))
+        assert parallel_map(_square, items, jobs=4) == [x * x for x in items]
+
+    def test_none_and_zero_jobs_run_serially(self):
+        assert parallel_map(_square, [2], jobs=None) == [4]
+        assert parallel_map(_square, [2, 3], jobs=0) == [4, 9]
+
+
+class TestRuntimeCampaign:
+    def test_same_seed_same_traces(self):
+        a = run_runtime_campaign(SPEC, trials=3, seed=5, jobs=1)
+        b = run_runtime_campaign(SPEC, trials=3, seed=5, jobs=1)
+        assert a.traces == b.traces
+        assert a.trial_seeds == b.trial_seeds
+
+    def test_jobs_do_not_change_results(self):
+        serial = run_runtime_campaign(SPEC, trials=4, seed=0, jobs=1)
+        fanned = run_runtime_campaign(SPEC, trials=4, seed=0, jobs=2)
+        assert serial.traces == fanned.traces
+
+    def test_stats_aggregate(self):
+        result = run_runtime_campaign(SPEC, trials=3, seed=2, jobs=1)
+        stats = result.stats
+        assert stats.trials == 3
+        assert 0.0 <= stats.mean_loss_rate <= 1.0
+        assert 0.0 <= stats.mean_availability <= 1.0
+
+    def test_trial_is_pure(self):
+        assert run_trial(SPEC, seed=11) == run_trial(SPEC, seed=11)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_runtime_campaign(SPEC, trials=0)
+        with pytest.raises(ValueError):
+            RuntimeTrialSpec(mttf_periods=-1.0)
+        with pytest.raises(ValueError):
+            RuntimeTrialSpec(distribution="zipf")
+        with pytest.raises(ValueError):
+            RuntimeTrialSpec(epsilon=10, num_processors=5)
+
+    def test_spec_overrides(self):
+        spec = SPEC.with_overrides(policy="remap")
+        assert spec.policy == "remap"
+        assert spec.num_tasks == SPEC.num_tasks
+
+
+class TestCampaignJobs:
+    def test_run_campaign_parallel_is_bit_for_bit_identical(self):
+        serial = run_campaign(1, TINY, jobs=1)
+        fanned = run_campaign(1, TINY, jobs=2)
+        assert [p.metrics for p in serial.points] == [p.metrics for p in fanned.points]
+        assert [p.failures for p in serial.points] == [p.failures for p in fanned.points]
+
+    def test_ablations_parallel_identical(self):
+        serial = ablation_rules(TINY, jobs=1)
+        fanned = ablation_rules(TINY, jobs=2)
+        assert serial.series == fanned.series
+
+    def test_baselines_parallel_identical(self):
+        serial = baseline_comparison(TINY, jobs=1)
+        fanned = baseline_comparison(TINY, jobs=2)
+        assert serial.series == fanned.series

@@ -1,0 +1,356 @@
+"""Unit tests for the online runtime: fault traces, policies, engine, traces, CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.ltf import ltf_schedule
+from repro.core.rltf import rltf_schedule
+from repro.exceptions import ScheduleError, SchedulingError
+from repro.failures.scenarios import FaultEvent, FaultTrace, sample_fault_trace
+from repro.failures.simulator import simulate_stream
+from repro.runtime.engine import OnlineRuntime, run_online
+from repro.runtime.policies import (
+    RESCHEDULE_POLICIES,
+    RemapReschedulePolicy,
+    RLTFReschedulePolicy,
+    resolve_policy,
+)
+from repro.runtime.trace import DatasetRecord, RuntimeTrace, summarize_traces
+from repro.schedule.schedule import Schedule
+
+
+@pytest.fixture
+def replicated(fig2, fig2_platform) -> Schedule:
+    """Figure 2 workflow on 10 processors, ε = 1, Δ = 20."""
+    return ltf_schedule(fig2, fig2_platform, throughput=0.05, epsilon=1)
+
+
+def empty_trace(schedule: Schedule, num_datasets: int) -> FaultTrace:
+    return FaultTrace((), horizon=num_datasets * schedule.period)
+
+
+# -------------------------------------------------------------- fault traces
+class TestFaultTrace:
+    def test_events_are_sorted(self):
+        events = (
+            FaultEvent(5.0, "P2", "crash"),
+            FaultEvent(1.0, "P1", "crash"),
+            FaultEvent(3.0, "P1", "repair"),
+        )
+        trace = FaultTrace(events, horizon=10.0)
+        assert [e.time for e in trace] == [1.0, 3.0, 5.0]
+        assert trace.num_crashes == 2
+        assert trace.crashed_processors == {"P1", "P2"}
+
+    def test_failed_at_tracks_repairs(self):
+        trace = FaultTrace(
+            (
+                FaultEvent(1.0, "P1", "crash"),
+                FaultEvent(3.0, "P1", "repair"),
+                FaultEvent(4.0, "P2", "crash"),
+            ),
+            horizon=10.0,
+        )
+        assert trace.failed_at(0.5) == frozenset()
+        assert trace.failed_at(2.0) == {"P1"}
+        assert trace.failed_at(5.0) == {"P2"}
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "P1", "explode")
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, "P1", "crash")
+
+    def test_sampling_is_deterministic(self, fig2_platform):
+        a = sample_fault_trace(fig2_platform, horizon=100.0, mttf=50.0, seed=3)
+        b = sample_fault_trace(fig2_platform, horizon=100.0, mttf=50.0, seed=3)
+        assert a == b
+
+    def test_sampling_fail_stop_is_one_crash_per_processor(self, fig2_platform):
+        trace = sample_fault_trace(fig2_platform, horizon=1e6, mttf=10.0, seed=0)
+        names = [e.processor for e in trace.events]
+        assert len(names) == len(set(names)) == fig2_platform.num_processors
+        assert all(e.is_crash for e in trace.events)
+
+    def test_sampling_with_repair_alternates(self, fig2_platform):
+        trace = sample_fault_trace(
+            fig2_platform, horizon=1000.0, mttf=10.0, mttr=5.0, seed=1
+        )
+        per_proc: dict[str, list[str]] = {}
+        for e in trace.events:
+            per_proc.setdefault(e.processor, []).append(e.kind)
+        for kinds in per_proc.values():
+            for first, second in zip(kinds, kinds[1:]):
+                assert first != second  # crash/repair strictly alternate
+        assert trace.num_crashes > fig2_platform.num_processors
+
+    def test_weibull_distribution_supported(self, fig2_platform):
+        trace = sample_fault_trace(
+            fig2_platform, horizon=100.0, mttf=50.0, distribution="weibull", shape=2.0, seed=0
+        )
+        assert all(0 <= e.time < 100.0 for e in trace.events)
+
+    def test_sampling_validation(self, fig2_platform):
+        with pytest.raises(ValueError):
+            sample_fault_trace(fig2_platform, horizon=-1.0, mttf=10.0)
+        with pytest.raises(ValueError):
+            sample_fault_trace(fig2_platform, horizon=10.0, mttf=10.0, distribution="zipf")
+
+
+# -------------------------------------------------------------------- policies
+class TestPolicies:
+    def test_registry_and_resolution(self):
+        assert set(RESCHEDULE_POLICIES) == {"rltf", "remap"}
+        assert resolve_policy("rltf").name == "rltf"
+        policy = RemapReschedulePolicy()
+        assert resolve_policy(policy) is policy
+        with pytest.raises(ValueError):
+            resolve_policy("nope")
+        with pytest.raises(TypeError):
+            resolve_policy(42)
+
+    def test_remap_replaces_dead_processors(self, replicated):
+        victim = replicated.used_processors()[0]
+        survivors = [p for p in replicated.platform.processor_names if p != victim]
+        sub = replicated.platform.subset(survivors)
+        rebuilt = RemapReschedulePolicy().reschedule(
+            replicated.graph, sub, replicated.period, replicated.epsilon, replicated
+        )
+        assert rebuilt.is_complete()
+        assert victim not in rebuilt.used_processors()
+        # remap never rejects: it may overload survivors (the runtime then
+        # throttles admission), so only the structural invariants must hold.
+        for task in rebuilt.graph.task_names:
+            procs = rebuilt.processors_of_task(task)
+            assert len(set(procs)) == len(procs) == rebuilt.replication_factor
+
+    def test_remap_needs_a_previous_schedule(self, replicated):
+        with pytest.raises(SchedulingError):
+            RemapReschedulePolicy().reschedule(
+                replicated.graph, replicated.platform, replicated.period, 1
+            )
+
+    def test_rltf_policy_degrades_epsilon_on_small_platforms(self, replicated):
+        survivors = replicated.platform.processor_names[:2]
+        sub = replicated.platform.subset(survivors)
+        rebuilt = RLTFReschedulePolicy().reschedule(
+            replicated.graph, sub, replicated.period, epsilon=5, previous=replicated
+        )
+        assert rebuilt.is_complete()
+        assert rebuilt.epsilon <= 1
+
+    def test_rltf_policy_validates_backoffs(self):
+        with pytest.raises(ValueError):
+            RLTFReschedulePolicy(period_backoffs=())
+        with pytest.raises(ValueError):
+            RLTFReschedulePolicy(period_backoffs=(0.5,))
+
+
+# --------------------------------------------------------------------- engine
+class TestOnlineRuntime:
+    def test_zero_faults_matches_offline_simulator(self, replicated):
+        trace = OnlineRuntime(replicated, empty_trace(replicated, 20)).run(20)
+        sim = simulate_stream(replicated, num_datasets=20)
+        assert trace.latencies == sim.latencies
+        assert trace.achieved_period == sim.achieved_period
+        assert trace.completed_count == 20
+        assert trace.num_rebuilds == 0 and trace.downtime == 0.0
+
+    def test_crash_of_unused_processor_is_harmless(self, fig2, fig2_platform):
+        # ε = 0 keeps several processors idle; killing one must not disturb
+        # the stream (not even with a zero-tolerance schedule).
+        schedule = ltf_schedule(fig2, fig2_platform, throughput=0.05, epsilon=0)
+        unused = next(
+            p
+            for p in schedule.platform.processor_names
+            if p not in schedule.used_processors()
+        )
+        faults = FaultTrace(
+            (FaultEvent(schedule.period * 3.2, unused, "crash"),),
+            horizon=20 * schedule.period,
+        )
+        trace = OnlineRuntime(schedule, faults).run(20)
+        assert trace.completed_count == 20
+        assert trace.num_rebuilds == 0
+        assert trace.events_of_kind("crash-unused")
+
+    def test_single_crash_is_tolerated_within_epsilon(self, replicated):
+        victim = replicated.used_processors()[0]
+        faults = FaultTrace(
+            (FaultEvent(replicated.period * 5.5, victim, "crash"),),
+            horizon=30 * replicated.period,
+        )
+        trace = OnlineRuntime(replicated, faults).run(30)
+        assert trace.completed_count == 30
+        assert trace.lost_count == 0
+        assert trace.num_rebuilds == 0
+        assert trace.events_of_kind("crash-tolerated")
+        assert victim not in trace.final_alive
+
+    def test_second_crash_triggers_rebuild_with_downtime(self, replicated):
+        p1, p2 = replicated.used_processors()[:2]
+        period = replicated.period
+        faults = FaultTrace(
+            (
+                FaultEvent(period * 5.5, p1, "crash"),
+                FaultEvent(period * 12.5, p2, "crash"),
+            ),
+            horizon=40 * period,
+        )
+        trace = OnlineRuntime(replicated, faults, rebuild_overhead=2.0).run(40)
+        assert trace.num_rebuilds == 1
+        assert trace.downtime == pytest.approx(2.0 * period)
+        assert trace.events_of_kind("crash-rebuild")
+        assert trace.events_of_kind("rebuild-complete")
+        lost = trace.lost_by_reason()
+        assert lost.get("lost-downtime", 0) >= 1
+        assert not trace.aborted
+        # the stream recovered: data sets released after the rebuild complete
+        assert trace.records[-1].completed
+
+    def test_all_processors_dead_aborts(self, replicated):
+        period = replicated.period
+        events = tuple(
+            FaultEvent(period * (2.1 + 0.1 * i), p, "crash")
+            for i, p in enumerate(replicated.platform.processor_names)
+        )
+        trace = OnlineRuntime(replicated, FaultTrace(events, horizon=30 * period)).run(30)
+        assert trace.aborted
+        assert trace.final_alive == ()
+        assert trace.lost_by_reason().get("lost-abort", 0) >= 1
+        assert trace.events_of_kind("abort")
+        # the dead tail of the horizon counts as downtime, so availability
+        # reflects the loss instead of reporting a near-perfect stream
+        assert trace.availability < 0.5
+        assert trace.downtime >= trace.horizon - trace.events_of_kind("abort")[0].time
+
+    def test_repair_is_logged_and_processor_rejoins(self, replicated):
+        victim = replicated.used_processors()[0]
+        period = replicated.period
+        faults = FaultTrace(
+            (
+                FaultEvent(period * 4.5, victim, "crash"),
+                FaultEvent(period * 8.5, victim, "repair"),
+            ),
+            horizon=20 * period,
+        )
+        trace = OnlineRuntime(replicated, faults).run(20)
+        assert trace.events_of_kind("repair")
+        assert victim in trace.final_alive
+        # fail-stop: the repaired processor is NOT resurrected mid-schedule
+        assert trace.num_rebuilds == 0
+
+    def test_rebuild_on_repair_reclaims_capacity(self, replicated):
+        victim = replicated.used_processors()[0]
+        period = replicated.period
+        faults = FaultTrace(
+            (
+                FaultEvent(period * 4.5, victim, "crash"),
+                FaultEvent(period * 8.5, victim, "repair"),
+            ),
+            horizon=25 * period,
+        )
+        trace = OnlineRuntime(replicated, faults, rebuild_on_repair=True).run(25)
+        assert trace.num_rebuilds == 1
+        assert trace.events_of_kind("repair-rebuild")
+
+    def test_remap_policy_runs_online(self, replicated):
+        p1, p2 = replicated.used_processors()[:2]
+        period = replicated.period
+        faults = FaultTrace(
+            (
+                FaultEvent(period * 3.5, p1, "crash"),
+                FaultEvent(period * 9.5, p2, "crash"),
+            ),
+            horizon=30 * period,
+        )
+        trace = OnlineRuntime(replicated, faults, policy="remap").run(30)
+        assert trace.policy == "remap"
+        assert trace.num_rebuilds == 1
+        assert not trace.aborted
+
+    def test_determinism(self, replicated, fig2_platform):
+        faults = sample_fault_trace(
+            fig2_platform, horizon=30 * replicated.period, mttf=15 * replicated.period, seed=7
+        )
+        a = OnlineRuntime(replicated, faults).run(30)
+        b = OnlineRuntime(replicated, faults).run(30)
+        assert a == b
+
+    def test_run_online_wrapper(self, replicated):
+        trace = run_online(replicated, empty_trace(replicated, 5), num_datasets=5)
+        assert trace.completed_count == 5
+
+    def test_validation(self, replicated, fig2, fig2_platform):
+        with pytest.raises(ValueError):
+            OnlineRuntime(replicated, empty_trace(replicated, 5), rebuild_overhead=-1.0)
+        with pytest.raises(ValueError):
+            OnlineRuntime(replicated, empty_trace(replicated, 5)).run(0)
+        incomplete = Schedule(fig2, fig2_platform, period=20.0, epsilon=1)
+        with pytest.raises(ScheduleError):
+            OnlineRuntime(incomplete, empty_trace(replicated, 5))
+
+
+# ---------------------------------------------------------------------- traces
+class TestRuntimeTrace:
+    def test_dataset_record_validation(self):
+        with pytest.raises(ValueError):
+            DatasetRecord(0, 0.0, None, "completed")
+        with pytest.raises(ValueError):
+            DatasetRecord(0, 0.0, 5.0, "shed")
+        with pytest.raises(ValueError):
+            DatasetRecord(0, 0.0, 5.0, "vanished")
+
+    def test_trace_statistics(self, replicated):
+        trace = OnlineRuntime(replicated, empty_trace(replicated, 10)).run(10)
+        assert trace.loss_rate == 0.0
+        assert trace.availability == 1.0
+        assert trace.mean_latency <= trace.max_latency
+        assert trace.num_datasets == 10
+
+    def test_summarize_traces(self, replicated):
+        traces = [OnlineRuntime(replicated, empty_trace(replicated, 10)).run(10)] * 3
+        stats = summarize_traces(traces)
+        assert stats.trials == 3
+        assert stats.aborted_trials == 0
+        assert stats.mean_loss_rate == 0.0
+        rows = stats.as_rows()
+        assert any(r[0] == "trials" for r in rows)
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_traces([])
+
+
+# ------------------------------------------------------------------------- CLI
+class TestRuntimeCli:
+    def test_runtime_command_smoke(self, capsys):
+        code = main(
+            [
+                "runtime",
+                "--seed",
+                "0",
+                "--trials",
+                "2",
+                "--datasets",
+                "30",
+                "--tasks",
+                "15",
+                "--processors",
+                "6",
+                "--epsilon",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trials" in out and "rebuilds" in out
+
+    def test_runtime_command_is_seed_deterministic(self, capsys):
+        args = ["runtime", "--seed", "3", "--trials", "2", "--datasets", "20",
+                "--tasks", "12", "--processors", "5", "--epsilon", "1"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
