@@ -24,6 +24,13 @@ trials at a time (identical statistics for any ``--jobs``)::
 
     repro-streaming runtime --seed 0 --trials 20 --jobs 4
     repro-streaming runtime --policy remap --mttf 200 --mttr 50 --distribution weibull
+    repro-streaming runtime --admission queue --rebuild-on-repair
+
+Sweep a whole grid of failure regimes (mttf × mttr × Weibull shape) into a
+figure-style report::
+
+    repro-streaming runtime --sweep --jobs 4
+    repro-streaming runtime --sweep --sweep-mttf 50,100,200 --sweep-mttr none,25 --sweep-shapes 0.7,1,1.5
 """
 
 from __future__ import annotations
@@ -95,9 +102,9 @@ def _add_scale_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help=(
-            "worker processes for the per-granularity points (results are "
-            "identical for any value; the scaling study always runs serially "
-            "because it measures wall-clock time)"
+            "worker processes for the per-graph work units (results are "
+            "identical for any value; in the scaling study each worker times "
+            "its own scheduler runs)"
         ),
     )
 
@@ -136,17 +143,71 @@ def _add_runtime_parser(sub) -> None:
     p.add_argument(
         "--weibull-shape", type=float, default=1.5, help="Weibull shape parameter"
     )
+    from repro.runtime.admission import ADMISSION_POLICIES
+    from repro.runtime.policies import RESCHEDULE_POLICIES
+
     p.add_argument(
         "--policy",
-        choices=("rltf", "remap"),
+        choices=RESCHEDULE_POLICIES.names,
         default="rltf",
         help="online rescheduling policy",
+    )
+    p.add_argument(
+        "--admission",
+        choices=ADMISSION_POLICIES.names,
+        default="shed",
+        help="admission policy during downtime/throttling (shed drops, queue buffers)",
+    )
+    p.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="admission buffer size for --admission queue (0 = unbounded)",
+    )
+    p.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help=(
+            "disable checkpoint/restart: legacy flush-and-restart execution "
+            "(in-flight data sets do not survive a rebuild)"
+        ),
+    )
+    p.add_argument(
+        "--rebuild-on-repair",
+        action="store_true",
+        help=(
+            "anticipatory rebuilds on repair events (only when a speculative "
+            "reschedule shows the repaired processor improves the schedule)"
+        ),
     )
     p.add_argument(
         "--rebuild-overhead",
         type=float,
         default=1.0,
         help="rebuild downtime, in stream periods",
+    )
+    p.add_argument(
+        "--sweep",
+        action="store_true",
+        help="sweep an mttf/mttr × Weibull-shape grid into a figure-style report",
+    )
+    p.add_argument(
+        "--sweep-mttf",
+        default="50,100,200,400",
+        help="comma-separated mttf grid (periods) for --sweep",
+    )
+    p.add_argument(
+        "--sweep-mttr",
+        default="none,25",
+        help="comma-separated mttr grid (periods; 'none' = fail-stop) for --sweep",
+    )
+    p.add_argument(
+        "--sweep-shapes",
+        default="0.7,1,1.5",
+        help="comma-separated Weibull shapes for --sweep (1 = exponential)",
+    )
+    p.add_argument(
+        "--no-plot", action="store_true", help="print only the tables, no ASCII plots"
     )
 
 
@@ -157,9 +218,30 @@ def _config(args: argparse.Namespace):
     return config
 
 
+def _parse_grid(text: str, option: str) -> tuple:
+    """Parse a comma-separated float grid; ``none`` maps to ``None``."""
+    values = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token.lower() in ("none", "inf"):
+            values.append(None)
+        else:
+            try:
+                values.append(float(token))
+            except ValueError:
+                raise ValueError(f"{option}: invalid grid value {token!r}") from None
+    if not values:
+        raise ValueError(f"{option}: empty grid")
+    return tuple(values)
+
+
 def _run_runtime_command(args: argparse.Namespace) -> int:
     from repro.exceptions import SchedulingError
     from repro.experiments.parallel import run_runtime_campaign
+    from repro.experiments.reporting import render_sweep
+    from repro.experiments.sweep import run_runtime_sweep
     from repro.runtime.montecarlo import RuntimeTrialSpec
     from repro.utils.ascii import format_table
 
@@ -175,8 +257,24 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
             weibull_shape=args.weibull_shape,
             mttr_periods=args.mttr,
             policy=args.policy,
+            admission=args.admission,
+            queue_capacity=None if args.queue_capacity == 0 else args.queue_capacity,
+            checkpoint=not args.no_checkpoint,
+            rebuild_on_repair=args.rebuild_on_repair,
             rebuild_overhead=args.rebuild_overhead,
         )
+        if args.sweep:
+            sweep = run_runtime_sweep(
+                spec,
+                mttf_grid=_parse_grid(args.sweep_mttf, "--sweep-mttf"),
+                mttr_grid=_parse_grid(args.sweep_mttr, "--sweep-mttr"),
+                shapes=_parse_grid(args.sweep_shapes, "--sweep-shapes"),
+                trials=args.trials,
+                seed=args.seed,
+                jobs=args.jobs,
+            )
+            print(render_sweep(sweep, plot=not args.no_plot))
+            return 0
         result = run_runtime_campaign(
             spec, trials=args.trials, seed=args.seed, jobs=args.jobs
         )
@@ -186,7 +284,7 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
     stats = result.stats
     title = (
         f"Online runtime campaign — {args.trials} trials, seed {args.seed}, "
-        f"policy {args.policy}, mttf {args.mttf:g}Δ"
+        f"policy {args.policy}, admission {args.admission}, mttf {args.mttf:g}Δ"
         + ("" if args.mttr is None else f", mttr {args.mttr:g}Δ")
     )
     print(format_table(["statistic", "value"], stats.as_rows(), title=title))
@@ -216,7 +314,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif command == "baselines":
         series = fig.baseline_comparison(config, jobs=jobs)
     elif command == "scaling":
-        series = fig.scaling_study(config=config)
+        series = fig.scaling_study(config=config, jobs=jobs)
     else:  # pragma: no cover - argparse enforces valid choices
         parser.error(f"unknown command {command!r}")
         return 2

@@ -9,8 +9,10 @@
 * :mod:`repro.experiments.tables` — the worked examples of Figures 1 and 2;
 * :mod:`repro.experiments.reporting` — ASCII rendering of the results;
 * :mod:`repro.experiments.parallel` — the parallel Monte-Carlo campaign
-  engine (``jobs``-way process fan-out of runtime trials and campaign
-  points, deterministic regardless of the worker count).
+  engine (``jobs``-way process fan-out of runtime trials and per-graph
+  campaign work units, deterministic regardless of the worker count);
+* :mod:`repro.experiments.sweep` — the failure-regime sweep of the online
+  runtime (mttf/mttr grid × Weibull shapes → figure-style report).
 """
 
 from repro.experiments.config import ExperimentConfig, bench_config, paper_config, workload_period
@@ -28,11 +30,16 @@ from repro.experiments.figures import (
     scaling_study,
 )
 from repro.experiments.tables import figure1_scenarios, figure2_example
-from repro.experiments.reporting import render_series, render_point_table
+from repro.experiments.reporting import render_series, render_point_table, render_sweep
 from repro.experiments.parallel import (
     parallel_map,
     RuntimeCampaignResult,
     run_runtime_campaign,
+)
+from repro.experiments.sweep import (
+    SweepPoint,
+    RuntimeSweepResult,
+    run_runtime_sweep,
 )
 
 __all__ = [
@@ -58,7 +65,11 @@ __all__ = [
     "figure2_example",
     "render_series",
     "render_point_table",
+    "render_sweep",
     "parallel_map",
     "RuntimeCampaignResult",
     "run_runtime_campaign",
+    "SweepPoint",
+    "RuntimeSweepResult",
+    "run_runtime_sweep",
 ]

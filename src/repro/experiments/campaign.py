@@ -11,6 +11,14 @@ and the fault-free reference, then records for each heuristic:
 
 Instances where a heuristic fails to meet the throughput constraint are
 recorded as failures and excluded from the averages (their rate is reported).
+
+Sharding: the unit of parallel work is one **graph instance**, not one
+granularity point.  Every instance derives its own child seed up front from
+:func:`point_seed` (see :func:`instance_seeds`), so
+:func:`run_campaign` can flatten all ``(granularity, instance)`` pairs into a
+single work list and fan them across processes — trials are sharded *within*
+a point as well as across points, and the result is bit-for-bit identical for
+any ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -30,12 +38,14 @@ from repro.failures.evaluation import expected_crash_latency
 from repro.graph.generator import random_paper_workload
 from repro.schedule.metrics import latency_upper_bound
 from repro.schedule.schedule import Schedule
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import derive_seed, ensure_rng
 
 __all__ = [
     "PointResult",
     "CampaignResult",
     "point_seed",
+    "instance_seeds",
+    "run_graph_instance",
     "run_point",
     "run_campaign",
     "ALGORITHMS",
@@ -52,6 +62,19 @@ def point_seed(config: ExperimentConfig, granularity: float, offset: int = 0) ->
     bit-for-bit identical to a serial run.
     """
     return config.seed + offset + int(round(granularity * 1000))
+
+
+def instance_seeds(
+    config: ExperimentConfig, granularity: float, epsilon: int
+) -> list[int]:
+    """Per-graph child seeds of one (granularity, ε) campaign point.
+
+    Drawn up front from the point seed, so instance ``i`` is a pure function
+    of ``(config, granularity, epsilon, i)`` — the prerequisite for sharding
+    instances across processes without changing the numbers.
+    """
+    rng = ensure_rng(point_seed(config, granularity, offset=31 * epsilon))
+    return [derive_seed(rng) for _ in range(config.num_graphs)]
 
 #: the two heuristics of the paper, keyed by their display name.
 ALGORITHMS: dict[str, Callable[..., Schedule]] = {
@@ -100,78 +123,129 @@ class CampaignResult:
         return sorted(names)
 
 
+def run_graph_instance(
+    item: tuple[float, int],
+    epsilon: int,
+    config: ExperimentConfig,
+    algorithms: Mapping[str, Callable[..., Schedule]] | None = None,
+) -> tuple[dict[str, list[float]], dict[str, int]]:
+    """Evaluate one random graph of one campaign point.
+
+    *item* is ``(granularity, instance_seed)``.  Returns the per-metric value
+    lists contributed by this instance plus its failure counters — the unit of
+    work fanned across processes by :func:`run_point` and
+    :func:`run_campaign`.
+    """
+    granularity, seed = item
+    algorithms = dict(algorithms or ALGORITHMS)
+    crashes = config.crash_counts(epsilon)
+    rng = ensure_rng(seed)
+    accum: dict[str, list[float]] = {}
+    failures = {name: 0 for name in algorithms}
+    failures["fault-free"] = 0
+
+    workload = random_paper_workload(
+        granularity,
+        seed=rng,
+        num_processors=config.num_processors,
+        task_range=config.task_range,
+    )
+    unit = workload.mean_task_time
+    period = workload_period(workload, epsilon, config)
+    ff_period = workload_period(workload, 0, config)
+    try:
+        ff = fault_free_schedule(workload.graph, workload.platform, period=ff_period)
+        ff_latency = latency_upper_bound(ff)
+    except SchedulingError:
+        failures["fault-free"] += 1
+        return accum, failures
+    accum.setdefault("fault-free latency", []).append(ff_latency / unit)
+
+    for name, scheduler in algorithms.items():
+        try:
+            schedule = scheduler(
+                workload.graph,
+                workload.platform,
+                period=period,
+                epsilon=epsilon,
+                strict_resilience=config.strict_resilience,
+            )
+        except SchedulingError:
+            failures[name] += 1
+            continue
+        upper = latency_upper_bound(schedule) / unit
+        accum.setdefault(f"{name} upper bound", []).append(upper)
+        accum.setdefault(f"{name} overhead upper bound (%)", []).append(
+            100.0 * (latency_upper_bound(schedule) - ff_latency) / ff_latency
+        )
+        for c in crashes:
+            latency_c = expected_crash_latency(
+                schedule,
+                c,
+                samples=config.crash_samples,
+                seed=rng,
+                unit=unit,
+                on_invalid="upper_bound",
+            )
+            accum.setdefault(f"{name} with {c} crash", []).append(latency_c)
+            accum.setdefault(f"{name} overhead with {c} crash (%)", []).append(
+                100.0 * (latency_c * unit - ff_latency) / ff_latency
+            )
+    return accum, failures
+
+
+def _reduce_point(
+    granularity: float,
+    epsilon: int,
+    config: ExperimentConfig,
+    instance_results: list[tuple[dict[str, list[float]], dict[str, int]]],
+) -> PointResult:
+    """Aggregate per-instance contributions into one :class:`PointResult`.
+
+    Values are concatenated in instance order before averaging, so the
+    reduction is independent of how the instances were scheduled across
+    workers.
+    """
+    accum: dict[str, list[float]] = {}
+    failures: dict[str, int] = {}
+    for metrics, fails in instance_results:
+        for name, values in metrics.items():
+            accum.setdefault(name, []).extend(values)
+        for name, count in fails.items():
+            failures[name] = failures.get(name, 0) + count
+    metrics = {name: float(np.mean(values)) for name, values in accum.items() if values}
+    return PointResult(
+        granularity=granularity,
+        epsilon=epsilon,
+        crashes=config.crash_counts(epsilon),
+        metrics=metrics,
+        failures=failures,
+        instances=config.num_graphs,
+    )
+
+
 def run_point(
     granularity: float,
     epsilon: int,
     config: ExperimentConfig,
     algorithms: Mapping[str, Callable[..., Schedule]] | None = None,
+    jobs: int | None = 1,
 ) -> PointResult:
-    """Run one (granularity, ε) point of the campaign."""
-    algorithms = dict(algorithms or ALGORITHMS)
-    crashes = config.crash_counts(epsilon)
-    rng = ensure_rng(point_seed(config, granularity, offset=31 * epsilon))
-    accum: dict[str, list[float]] = {}
-    failures = {name: 0 for name in algorithms}
-    failures["fault-free"] = 0
+    """Run one (granularity, ε) point of the campaign.
 
-    for instance in range(config.num_graphs):
-        workload = random_paper_workload(
-            granularity,
-            seed=rng,
-            num_processors=config.num_processors,
-            task_range=config.task_range,
-        )
-        unit = workload.mean_task_time
-        period = workload_period(workload, epsilon, config)
-        ff_period = workload_period(workload, 0, config)
-        try:
-            ff = fault_free_schedule(workload.graph, workload.platform, period=ff_period)
-            ff_latency = latency_upper_bound(ff)
-        except SchedulingError:
-            failures["fault-free"] += 1
-            continue
-        accum.setdefault("fault-free latency", []).append(ff_latency / unit)
+    With ``jobs > 1`` the graph instances of the point are sharded across
+    worker processes; every instance carries its own pre-derived seed, so the
+    result is bit-for-bit identical for any ``jobs`` value.
+    """
+    from repro.experiments.parallel import parallel_map
 
-        for name, scheduler in algorithms.items():
-            try:
-                schedule = scheduler(
-                    workload.graph,
-                    workload.platform,
-                    period=period,
-                    epsilon=epsilon,
-                    strict_resilience=config.strict_resilience,
-                )
-            except SchedulingError:
-                failures[name] += 1
-                continue
-            upper = latency_upper_bound(schedule) / unit
-            accum.setdefault(f"{name} upper bound", []).append(upper)
-            accum.setdefault(f"{name} overhead upper bound (%)", []).append(
-                100.0 * (latency_upper_bound(schedule) - ff_latency) / ff_latency
-            )
-            for c in crashes:
-                latency_c = expected_crash_latency(
-                    schedule,
-                    c,
-                    samples=config.crash_samples,
-                    seed=rng,
-                    unit=unit,
-                    on_invalid="upper_bound",
-                )
-                accum.setdefault(f"{name} with {c} crash", []).append(latency_c)
-                accum.setdefault(f"{name} overhead with {c} crash (%)", []).append(
-                    100.0 * (latency_c * unit - ff_latency) / ff_latency
-                )
-
-    metrics = {name: float(np.mean(values)) for name, values in accum.items() if values}
-    return PointResult(
-        granularity=granularity,
-        epsilon=epsilon,
-        crashes=crashes,
-        metrics=metrics,
-        failures=failures,
-        instances=config.num_graphs,
+    items = [(granularity, s) for s in instance_seeds(config, granularity, epsilon)]
+    results = parallel_map(
+        partial(run_graph_instance, epsilon=epsilon, config=config, algorithms=algorithms),
+        items,
+        jobs=jobs,
     )
+    return _reduce_point(granularity, epsilon, config, results)
 
 
 def run_campaign(
@@ -182,17 +256,27 @@ def run_campaign(
 ) -> CampaignResult:
     """Sweep every granularity of *config* for the given ε.
 
-    With ``jobs > 1`` the granularity points run across worker processes via
-    :func:`repro.experiments.parallel.parallel_map`.  Every point derives its
-    RNG from ``(config.seed, granularity, epsilon)`` alone, so the parallel
-    sweep is bit-for-bit identical to the serial one (custom *algorithms* must
-    then be picklable, i.e. module-level functions).
+    The whole campaign is flattened into one list of ``(granularity, graph
+    instance)`` work units before fan-out, so ``jobs`` workers stay busy even
+    when there are fewer granularity points than workers (per-graph sharding
+    *within* a point).  Every unit carries its own pre-derived seed, so the
+    campaign is bit-for-bit identical for any ``jobs`` value (custom
+    *algorithms* must be picklable, i.e. module-level functions).
     """
     from repro.experiments.parallel import parallel_map
 
-    points = parallel_map(
-        partial(run_point, epsilon=epsilon, config=config, algorithms=algorithms),
-        config.granularities,
+    units: list[tuple[float, int]] = []
+    for granularity in config.granularities:
+        units.extend((granularity, s) for s in instance_seeds(config, granularity, epsilon))
+    results = parallel_map(
+        partial(run_graph_instance, epsilon=epsilon, config=config, algorithms=algorithms),
+        units,
         jobs=jobs,
     )
-    return CampaignResult(epsilon=epsilon, points=list(points))
+    points = []
+    n = config.num_graphs
+    for k, granularity in enumerate(config.granularities):
+        points.append(
+            _reduce_point(granularity, epsilon, config, results[k * n : (k + 1) * n])
+        )
+    return CampaignResult(epsilon=epsilon, points=points)

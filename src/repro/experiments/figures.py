@@ -26,7 +26,7 @@ from repro.experiments.config import ExperimentConfig, bench_config, workload_pe
 from repro.experiments.parallel import parallel_map
 from repro.graph.generator import random_paper_workload
 from repro.schedule.metrics import communication_count, latency_upper_bound
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import derive_seed, ensure_rng
 
 __all__ = [
     "FigureSeries",
@@ -338,38 +338,61 @@ def baseline_comparison(
     )
 
 
+def _scaling_point(
+    item: tuple[int, int], epsilon: int, config: ExperimentConfig
+) -> tuple[float, float]:
+    """Measure (LTF seconds, R-LTF seconds) for one graph size.
+
+    *item* is ``(size, seed)`` — the workload is derived from the per-size
+    seed alone, so the sizes can be fanned across processes while every worker
+    schedules exactly the same graphs as a serial run.
+    """
+    size, seed = item
+    workload = random_paper_workload(
+        1.0,
+        seed=seed,
+        num_tasks=size,
+        num_processors=config.num_processors,
+    )
+    period = workload_period(workload, epsilon, config)
+    measured = []
+    for fn in (ltf_schedule, rltf_schedule):
+        start = time.perf_counter()
+        try:
+            fn(workload.graph, workload.platform, period=period, epsilon=epsilon)
+        except SchedulingError:
+            pass
+        measured.append(time.perf_counter() - start)
+    return measured[0], measured[1]
+
+
 def scaling_study(
     sizes: tuple[int, ...] = (25, 50, 100, 200),
     epsilon: int = 1,
     config: ExperimentConfig | None = None,
+    jobs: int | None = 1,
 ) -> FigureSeries:
     """Scaling study S1: scheduler wall-clock time vs number of tasks.
 
     Complements Theorem 1 (the ``O(e·m·(ε+1)²·log(ε+1) + v·log ω)`` complexity
-    bound) with measured runtimes of both heuristics.
+    bound) with measured runtimes of both heuristics.  With ``jobs > 1`` the
+    sizes are fanned across processes — each worker times its own scheduler
+    runs, so the workloads are identical to a serial run (only the measured
+    wall-clock varies, as it always does).
     """
     config = config or bench_config()
-    times: dict[str, list[float]] = {"LTF": [], "R-LTF": []}
     rng = ensure_rng(config.seed + 13)
-    for size in sizes:
-        workload = random_paper_workload(
-            1.0,
-            seed=rng,
-            num_tasks=size,
-            num_processors=config.num_processors,
-        )
-        period = workload_period(workload, epsilon, config)
-        for name, fn in (("LTF", ltf_schedule), ("R-LTF", rltf_schedule)):
-            start = time.perf_counter()
-            try:
-                fn(workload.graph, workload.platform, period=period, epsilon=epsilon)
-            except SchedulingError:
-                pass
-            times[name].append(time.perf_counter() - start)
+    items = [(size, derive_seed(rng)) for size in sizes]
+    points = parallel_map(
+        partial(_scaling_point, epsilon=epsilon, config=config), items, jobs=jobs
+    )
     return FigureSeries(
         name="scaling_study",
         x_label="tasks",
         x=tuple(float(s) for s in sizes),
-        series={name: tuple(vals) for name, vals in times.items()},
+        series={
+            "LTF": tuple(p[0] for p in points),
+            "R-LTF": tuple(p[1] for p in points),
+        },
         description=f"Scheduler wall-clock seconds vs graph size (epsilon={epsilon})",
     )

@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.experiments.campaign import PointResult
 from repro.experiments.figures import FigureSeries
 from repro.experiments.tables import ExampleRow
 from repro.utils.ascii import ascii_plot, format_table
 
-__all__ = ["render_series", "render_point_table", "render_example_rows"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports figures)
+    from repro.experiments.sweep import RuntimeSweepResult
+
+__all__ = ["render_series", "render_point_table", "render_example_rows", "render_sweep"]
 
 
 def render_series(figure: FigureSeries, plot: bool = True) -> str:
@@ -29,6 +32,17 @@ def render_point_table(points: Sequence[PointResult]) -> str:
     headers = ["granularity", *metrics]
     rows = [[p.granularity, *[p.metric(m) for m in metrics]] for p in points]
     return format_table(headers, rows)
+
+
+def render_sweep(result: "RuntimeSweepResult", plot: bool = True) -> str:
+    """Render every panel of a runtime failure-regime sweep (one per metric)."""
+    header = (
+        f"Online runtime sweep — {result.trials} trials/point, seed {result.seed}, "
+        f"policy {result.spec.policy}, admission {result.spec.admission}, "
+        f"mttf grid {[f'{m:g}' for m in result.mttf_grid]}"
+    )
+    panels = [render_series(figure, plot=plot) for figure in result.figures()]
+    return "\n\n".join([header, *panels])
 
 
 def render_example_rows(rows: Sequence[ExampleRow], title: str) -> str:

@@ -1,0 +1,155 @@
+"""Scenario-diversity sweep of the online runtime.
+
+Sweeps a grid of failure regimes — mean time to failure × mean time to repair
+× Weibull shape — through seeded Monte-Carlo campaigns of the online runtime
+and aggregates the results into figure-style panels
+(:class:`~repro.experiments.figures.FigureSeries`) rendered by
+:mod:`repro.experiments.reporting`.  This is the ``repro-streaming runtime
+--sweep`` command.
+
+Each grid point runs its own :func:`~repro.experiments.parallel.
+run_runtime_campaign` with a child seed derived *up front* in grid order, so
+the sweep is deterministic and bit-for-bit identical for any ``--jobs`` value
+(the points are fanned across processes, each campaign running serially
+inside its worker).
+
+The Weibull shape axis stresses the failure-arrival law itself: ``shape < 1``
+gives infant-mortality bursts, ``shape = 1`` is the exponential (memoryless)
+case of the paper, ``shape > 1`` models wear-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+
+from repro.experiments.figures import FigureSeries
+from repro.runtime.montecarlo import RuntimeTrialSpec
+from repro.runtime.trace import RuntimeStats
+from repro.utils.rng import derive_seed, ensure_rng
+
+__all__ = ["SweepPoint", "RuntimeSweepResult", "run_runtime_sweep", "SWEEP_METRICS"]
+
+#: metric name -> RuntimeStats attribute plotted by the sweep report.
+SWEEP_METRICS: dict[str, str] = {
+    "availability": "mean_availability",
+    "loss rate": "mean_loss_rate",
+    "rebuilds per trial": "mean_rebuilds",
+    "mean latency": "mean_latency",
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One failure regime of the sweep and its campaign statistics."""
+
+    mttf_periods: float
+    mttr_periods: float | None
+    shape: float
+    seed: int
+    stats: RuntimeStats
+
+    @property
+    def series_label(self) -> str:
+        """Label of the curve this point belongs to (one per mttr × shape)."""
+        mttr = "∞" if self.mttr_periods is None else f"{self.mttr_periods:g}Δ"
+        return f"mttr={mttr}, shape={self.shape:g}"
+
+
+@dataclass(frozen=True)
+class RuntimeSweepResult:
+    """All grid points of one sweep, in grid order."""
+
+    spec: RuntimeTrialSpec
+    seed: int
+    trials: int
+    mttf_grid: tuple[float, ...]
+    points: tuple[SweepPoint, ...]
+
+    def figure(self, metric: str) -> FigureSeries:
+        """One panel: *metric* vs mttf, one curve per (mttr, shape) combo."""
+        attr = SWEEP_METRICS[metric]
+        series: dict[str, list[float]] = {}
+        for point in self.points:
+            series.setdefault(point.series_label, []).append(
+                getattr(point.stats, attr)
+            )
+        # mean latency is reported in periods of the *trial* schedule, which
+        # varies per workload; the panel still orders regimes correctly.
+        return FigureSeries(
+            name=f"runtime_sweep:{metric}",
+            x_label="mttf (periods)",
+            x=self.mttf_grid,
+            series={label: tuple(vals) for label, vals in series.items()},
+            description=(
+                f"Online runtime {metric} vs mttf "
+                f"({self.trials} trials/point, policy {self.spec.policy}, "
+                f"admission {self.spec.admission})"
+            ),
+        )
+
+    def figures(self) -> list[FigureSeries]:
+        """Every panel of the sweep report, in :data:`SWEEP_METRICS` order."""
+        return [self.figure(metric) for metric in SWEEP_METRICS]
+
+
+def _run_sweep_point(
+    item: tuple[float, float | None, float, int],
+    spec: RuntimeTrialSpec,
+    trials: int,
+) -> SweepPoint:
+    """Run the Monte-Carlo campaign of one grid point (one process each)."""
+    from repro.experiments.parallel import run_runtime_campaign
+
+    mttf, mttr, shape, seed = item
+    point_spec = spec.with_overrides(
+        mttf_periods=mttf,
+        mttr_periods=mttr,
+        distribution="weibull",
+        weibull_shape=shape,
+    )
+    result = run_runtime_campaign(point_spec, trials=trials, seed=seed, jobs=1)
+    return SweepPoint(
+        mttf_periods=mttf, mttr_periods=mttr, shape=shape, seed=seed, stats=result.stats
+    )
+
+
+def run_runtime_sweep(
+    spec: RuntimeTrialSpec,
+    mttf_grid: tuple[float, ...] = (50.0, 100.0, 200.0, 400.0),
+    mttr_grid: tuple[float | None, ...] = (None, 25.0),
+    shapes: tuple[float, ...] = (0.7, 1.0, 1.5),
+    trials: int = 10,
+    seed: int = 0,
+    jobs: int | None = 1,
+) -> RuntimeSweepResult:
+    """Sweep the failure-regime grid; deterministic for any *jobs* value.
+
+    The grid is ordered mttf-major → mttr → shape; every point's campaign
+    seed is derived from *seed* in that order before any work is dispatched.
+    """
+    if not mttf_grid or not shapes:
+        raise ValueError("mttf_grid and shapes must be non-empty")
+    if any(m is None for m in mttf_grid) or any(s is None for s in shapes):
+        raise ValueError("mttf_grid and shapes must be numeric (only mttr may be none)")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    from repro.experiments.parallel import parallel_map
+
+    rng = ensure_rng(seed)
+    items = [
+        (mttf, mttr, shape, derive_seed(rng))
+        for mttf in mttf_grid
+        for mttr in mttr_grid
+        for shape in shapes
+    ]
+    points = parallel_map(
+        partial(_run_sweep_point, spec=spec, trials=trials), items, jobs=jobs
+    )
+    return RuntimeSweepResult(
+        spec=spec,
+        seed=seed,
+        trials=trials,
+        mttf_grid=tuple(float(m) for m in mttf_grid),
+        points=tuple(points),
+    )

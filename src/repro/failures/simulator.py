@@ -4,7 +4,15 @@ The analytic latency model of the paper, ``L = (2S − 1)·Δ``, abstracts the
 steady-state behaviour of the pipeline.  This module provides an independent,
 event-driven simulator of the actual execution of ``K`` consecutive data sets
 under the one-port model, used to sanity-check the analytic model (and to
-observe what really happens when processors crash mid-stream):
+observe what really happens when processors crash mid-stream).
+
+Since the kernel extraction, the actual event loop lives in
+:class:`repro.sim.kernel.PipelineKernel` — the same loop that powers the
+online runtime (:mod:`repro.runtime.engine`).  :class:`StreamingSimulator` is
+the *batch driver* of that kernel: it admits every data set up front
+(replica-major event order, preserved byte-for-byte across the extraction),
+runs the kernel to completion under a fixed crash scenario, and packages the
+per-dataset latencies into a :class:`SimulationResult`:
 
 * every replica executes one *compute operation* per data set, on its assigned
   processor, in FIFO order of the data sets;
@@ -22,8 +30,7 @@ which should match ``max_u Δ_u`` of the schedule.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -33,6 +40,7 @@ from repro.failures.scenarios import CrashScenario
 from repro.schedule.replica import Replica
 from repro.schedule.schedule import Schedule
 from repro.schedule.validation import valid_replicas_under_failures
+from repro.sim.kernel import PipelineKernel
 
 __all__ = ["StreamingSimulator", "SimulationResult", "simulate_stream"]
 
@@ -76,20 +84,8 @@ class SimulationResult:
         return float("inf") if p == 0 else 1.0 / p
 
 
-@dataclass
-class _ReplicaState:
-    """Book-keeping of one alive replica during the simulation."""
-
-    replica: Replica
-    processor: str
-    duration: float
-    needed: dict[str, int]  # predecessor task -> number of inputs required (always 1)
-    received: dict[int, set[str]] = field(default_factory=dict)  # dataset -> preds satisfied
-    finished: dict[int, float] = field(default_factory=dict)  # dataset -> completion time
-
-
 class StreamingSimulator:
-    """Discrete-event simulator for a complete :class:`~repro.schedule.schedule.Schedule`."""
+    """Batch driver of the shared pipeline kernel for a complete schedule."""
 
     def __init__(self, schedule: Schedule, scenario: CrashScenario | Iterable[str] = ()):
         if not schedule.is_complete():
@@ -100,6 +96,7 @@ class StreamingSimulator:
         self.scenario = scenario
         # Replicas that can produce valid results under the crash pattern.
         valid = valid_replicas_under_failures(schedule, scenario.failed)
+        self._valid_map: dict[str, list[Replica]] = valid
         self._valid: set[Replica] = {r for reps in valid.values() for r in reps}
         for task in schedule.graph.exit_tasks():
             if not valid[task]:
@@ -125,9 +122,7 @@ class StreamingSimulator:
         """
         if num_datasets < 1:
             raise ValueError(f"num_datasets must be >= 1, got {num_datasets}")
-        schedule = self.schedule
-        graph = schedule.graph
-        period = schedule.period
+        period = self.schedule.period
         if release_times is None:
             releases = [j * period for j in range(num_datasets)]
         else:
@@ -141,100 +136,27 @@ class StreamingSimulator:
             ):
                 raise ValueError("release_times must be non-negative and non-decreasing")
 
-        states: dict[Replica, _ReplicaState] = {}
-        for replica in schedule.all_replicas():
-            if replica not in self._valid:
-                continue
-            proc = schedule.processor_of(replica)
-            states[replica] = _ReplicaState(
-                replica=replica,
-                processor=proc,
-                duration=schedule.platform.execution_time(graph.work(replica.task), proc),
-                needed={pred: 1 for pred in graph.predecessors(replica.task)},
-            )
-
-        # communications between valid replicas only
-        comm_links: dict[Replica, list[tuple[Replica, float]]] = {}
-        for event in schedule.comm_events:
-            if event.source in states and event.destination in states:
-                comm_links.setdefault(event.source, []).append(
-                    (event.destination, event.duration)
-                )
-
-        compute_free: dict[str, float] = {p: 0.0 for p in schedule.platform.processor_names}
-        out_free: dict[str, float] = dict(compute_free)
-        in_free: dict[str, float] = dict(compute_free)
-
-        counter = 0
-        heap: list[tuple[float, int, str, object]] = []
-
-        def push(time: float, kind: str, payload: object) -> None:
-            nonlocal counter
-            counter += 1
-            heapq.heappush(heap, (time, counter, kind, payload))
-
-        def try_start(state: _ReplicaState, dataset: int, now: float) -> None:
-            """Start the compute of (replica, dataset) if all inputs are in."""
-            if dataset in state.finished:
-                return
-            got = state.received.get(dataset, set())
-            if len(got) < len(state.needed):
-                return
-            start = max(now, compute_free[state.processor])
-            finish = start + state.duration
-            compute_free[state.processor] = finish
-            state.finished[dataset] = finish
-            push(finish, "computed", (state.replica, dataset))
-
-        # release entry tasks
-        for replica, state in states.items():
-            if not state.needed:
-                for dataset in range(num_datasets):
-                    push(releases[dataset], "release", (replica, dataset))
-
-        exit_tasks = graph.exit_tasks()
-        exit_done: dict[int, dict[str, float]] = {j: {} for j in range(num_datasets)}
-        completion: dict[int, float] = {}
-
-        while heap:
-            now, _, kind, payload = heapq.heappop(heap)
-            if kind == "release":
-                replica, dataset = payload
-                try_start(states[replica], dataset, now)
-            elif kind == "computed":
-                replica, dataset = payload
-                state = states[replica]
-                task = replica.task
-                if task in exit_tasks and task not in exit_done[dataset]:
-                    exit_done[dataset][task] = now
-                    if len(exit_done[dataset]) == len(exit_tasks):
-                        completion[dataset] = now
-                # forward the result along every recorded communication
-                for destination, duration in comm_links.get(replica, ()):
-                    if duration == 0.0:
-                        push(now, "arrived", (replica, destination, dataset))
-                    else:
-                        src_proc = state.processor
-                        dst_proc = states[destination].processor
-                        start = max(now, out_free[src_proc], in_free[dst_proc])
-                        out_free[src_proc] = start + duration
-                        in_free[dst_proc] = start + duration
-                        push(start + duration, "arrived", (replica, destination, dataset))
-            elif kind == "arrived":
-                source, destination, dataset = payload
-                dst_state = states[destination]
-                dst_state.received.setdefault(dataset, set()).add(source.task)
-                try_start(dst_state, dataset, now)
+        # The constructor already computed the validity closure and checked
+        # exit coverage; hand both over so the kernel does not redo the work.
+        kernel = PipelineKernel(
+            self.schedule,
+            self.scenario.failed,
+            require_exit_coverage=False,
+            valid_replicas=self._valid_map,
+        )
+        kernel.admit_batch(releases)
+        kernel.run_to_completion()
 
         latencies = []
         completions = []
         for dataset in range(num_datasets):
-            if dataset not in completion:
+            completion = kernel.completion_of(dataset)
+            if completion is None:
                 raise ScheduleError(
                     f"data set {dataset} never completed — inconsistent schedule or scenario"
                 )
-            completions.append(completion[dataset])
-            latencies.append(completion[dataset] - releases[dataset])
+            completions.append(completion)
+            latencies.append(completion - releases[dataset])
         return SimulationResult(
             latencies=tuple(latencies),
             completion_times=tuple(completions),

@@ -9,13 +9,24 @@ counterpart:
   process injects crashes, tolerating failures within the ε guarantee and
   rebuilding the schedule online beyond it;
 * :mod:`repro.runtime.policies` — the online rescheduling policies (re-run
-  R-LTF on the survivors, or remap the dead replicas onto survivors);
+  R-LTF on the survivors, or remap the dead replicas onto survivors),
+  resolved by name through a :class:`~repro.utils.registry.PolicyRegistry`;
+* :mod:`repro.runtime.admission` — the admission policies deciding the fate
+  of data sets the pipeline cannot take (``shed`` drops, ``queue`` buffers
+  through downtime with a bounded backlog);
 * :mod:`repro.runtime.trace` — the :class:`RuntimeTrace` execution record
   (per-dataset latency, downtime, rebuilds) and its aggregation;
 * :mod:`repro.runtime.montecarlo` — one seeded Monte-Carlo trial, fanned out
   in parallel by :mod:`repro.experiments.parallel`.
 """
 
+from repro.runtime.admission import (
+    AdmissionPolicy,
+    ShedAdmissionPolicy,
+    QueueAdmissionPolicy,
+    ADMISSION_POLICIES,
+    resolve_admission,
+)
 from repro.runtime.engine import OnlineRuntime, run_online
 from repro.runtime.policies import (
     ReschedulePolicy,
@@ -36,6 +47,11 @@ from repro.runtime.montecarlo import RuntimeTrialSpec, run_trial
 __all__ = [
     "OnlineRuntime",
     "run_online",
+    "AdmissionPolicy",
+    "ShedAdmissionPolicy",
+    "QueueAdmissionPolicy",
+    "ADMISSION_POLICIES",
+    "resolve_admission",
     "ReschedulePolicy",
     "RLTFReschedulePolicy",
     "RemapReschedulePolicy",

@@ -2,15 +2,13 @@
 
 :class:`OnlineRuntime` drives a :class:`~repro.schedule.schedule.Schedule`
 over an open-ended stream while a :class:`~repro.failures.scenarios.FaultTrace`
-injects crashes (and optionally repairs) mid-stream.  The execution model:
+injects crashes (and optionally repairs) mid-stream.  The control plane:
 
 * data set ``j`` is released at ``j·Δ`` where ``Δ`` is the period of the
-  *initial* schedule (the source rate never changes);
-* the timeline is cut into **segments** of constant state (current schedule +
-  set of processors failed against it).  Within a segment, admitted data sets
-  are executed by the event-driven :class:`~repro.failures.simulator.
-  StreamingSimulator` under the segment's crash set, so with zero fault
-  arrivals the runtime reproduces the offline simulation exactly;
+  *initial* schedule (the source rate never changes); an
+  :class:`~repro.runtime.admission.AdmissionPolicy` decides the fate of every
+  released data set (``shed`` drops what the pipeline cannot take, ``queue``
+  buffers it through downtime and throttling);
 * a crash that leaves every exit task with a valid replica — the active
   replication absorbing it — is **tolerated**: the stream continues on the
   surviving replicas at a degraded latency;
@@ -19,22 +17,33 @@ injects crashes (and optionally repairs) mid-stream.  The execution model:
   ``rebuild_beyond_epsilon`` is set) triggers an **online rebuild**: the
   rescheduling policy (:mod:`repro.runtime.policies`) builds a new schedule on
   the survivors.  The rebuild takes ``rebuild_overhead·Δ`` time units of
-  downtime during which released data sets are lost;
+  downtime;
 * a rebuilt schedule may have a longer period (the survivors cannot sustain
   the source rate) or overloaded processors (remap policy) — the runtime then
-  throttles admission to the achievable rate and *sheds* the excess data sets;
+  throttles admission to the achievable rate;
 * repaired processors rejoin the candidate pool of the *next* rebuild (a
   processor lost its state when it crashed, so the current schedule never
-  resurrects it); ``rebuild_on_repair=True`` additionally triggers a rebuild
-  to reclaim the capacity immediately;
+  resurrects it); ``rebuild_on_repair=True`` additionally triggers an
+  *anticipatory* rebuild — but only after a speculative reschedule shows the
+  repaired processor actually improves the achievable period or the
+  resilience margin, so repairs that change nothing no longer cost downtime;
 * when no schedule can be built on the survivors the stream **aborts** and
   every remaining data set is lost.
 
-Model simplification (documented, deliberate): a data set's fate is decided by
-the runtime state at its release time — data sets in flight when a crash lands
-are re-evaluated under the new segment only if released after it.  Each
-segment restarts the pipeline (the warm-up transient is paid again after a
-state change), which mirrors a flush-and-restart runtime.
+The data plane is the shared simulation kernel
+(:class:`repro.sim.kernel.PipelineKernel`), driven in one of two modes:
+
+* ``checkpoint=True`` (default) — **true incremental execution**: one kernel
+  carries compute/transfer state across fault events.  A tolerated crash
+  cancels the dead processor's operations in place (no pipeline restart, no
+  re-paid warm-up), and a rebuild *checkpoints* the in-flight data sets:
+  their completed per-task outputs are replayed into a fresh kernel built on
+  the new schedule, so partial work survives the rebuild;
+* ``checkpoint=False`` — the historical **flush-and-restart** semantics of
+  PR 1, kept as a baseline: a data set's fate is decided at its release time,
+  each batch of releases between two control events is simulated from a cold
+  pipeline, and in-flight work is conceptually flushed at every state change.
+  Traces in this mode are bit-for-bit identical to the pre-kernel engine.
 
 The resulting :class:`~repro.runtime.trace.RuntimeTrace` is a pure function of
 ``(schedule, fault_trace, options)``: two runs with the same inputs produce
@@ -46,12 +55,13 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.exceptions import ScheduleError, SchedulingError
-from repro.failures.scenarios import CrashScenario, FaultEvent, FaultTrace
-from repro.failures.simulator import StreamingSimulator
+from repro.failures.scenarios import FaultEvent, FaultTrace
+from repro.runtime.admission import ADMIT, DROP, AdmissionPolicy, resolve_admission
 from repro.runtime.policies import ReschedulePolicy, resolve_policy
 from repro.runtime.trace import DatasetRecord, RuntimeEvent, RuntimeTrace
 from repro.schedule.schedule import Schedule
 from repro.schedule.validation import valid_replicas_under_failures
+from repro.sim.kernel import PipelineKernel
 
 __all__ = ["OnlineRuntime", "run_online"]
 
@@ -66,6 +76,129 @@ def _effective_period(schedule: Schedule) -> float:
     return schedule.max_cycle_time
 
 
+class _IncrementalExecutor:
+    """Data plane of ``checkpoint=True``: one kernel across fault events."""
+
+    def __init__(self, schedule: Schedule):
+        self._kernel: PipelineKernel | None = PipelineKernel(schedule)
+        self._ckpt: dict[int, frozenset[str]] = {}
+
+    def admit(self, dataset: int, release: float, admit_time: float) -> None:
+        assert self._kernel is not None
+        self._kernel.admit(dataset, admit_time)
+
+    def advance(self, now, schedule, failed_cur, seg_start, tol):
+        if self._kernel is None:
+            return []
+        return self._kernel.run_until(now)
+
+    def on_tolerated_crash(self, processor: str, now: float) -> None:
+        if self._kernel is not None:
+            self._kernel.crash(processor)
+
+    def on_crash_charged(self, schedule, failed_cur, seg_start, tol):
+        return []  # the kernel handles the crash in place
+
+    def on_rebuild_start(self, now: float, pending: Iterable[int]) -> None:
+        # Checkpoint the in-flight data sets and abandon the dead pipeline:
+        # every task output produced so far is in stable storage and will be
+        # replayed into the rebuilt schedule.
+        kernel = self._kernel
+        if kernel is None:
+            return
+        for dataset in pending:
+            self._ckpt[dataset] = kernel.completed_tasks(dataset)
+        self._kernel = None
+
+    def on_rebuild_complete(self, schedule: Schedule, now: float, pending: Iterable[int]) -> None:
+        self._kernel = PipelineKernel(schedule)
+        for dataset in pending:
+            self._kernel.admit_restored(dataset, now, self._ckpt.pop(dataset, ()))
+
+    def on_abort(self, now: float) -> None:
+        self._kernel = None
+        self._ckpt.clear()
+
+    def finalize(self, schedule, failed_cur, seg_start, tol):
+        if self._kernel is None:
+            return []
+        return self._kernel.run_to_completion()
+
+
+class _FlushExecutor:
+    """Data plane of ``checkpoint=False``: the historical flush-and-restart.
+
+    Every batch of admissions between two control events is simulated from a
+    cold pipeline under the segment's crash set; the fate of a data set is
+    sealed the moment it is admitted (bit-for-bit the pre-kernel behaviour).
+    """
+
+    def __init__(self, schedule: Schedule):
+        self._batch: list[tuple[int, float]] = []  # (dataset, admission instant)
+
+    def admit(self, dataset: int, release: float, admit_time: float) -> None:
+        self._batch.append((dataset, admit_time))
+
+    def _simulate(self, batch, schedule, failed_cur, seg_start):
+        kernel = PipelineKernel(schedule, frozenset(failed_cur))
+        # A data set admitted within float tolerance of the segment start can
+        # land a hair before it; clamp to keep the kernel releases
+        # non-negative (its recorded release stays exact).
+        kernel.admit_batch([max(0.0, t - seg_start) for _, t in batch])
+        kernel.run_to_completion()
+        completions = []
+        for k, (dataset, _) in enumerate(batch):
+            completion = kernel.completion_of(k)
+            if completion is None:
+                raise ScheduleError(
+                    f"data set {dataset} never completed — inconsistent schedule or scenario"
+                )
+            completions.append((dataset, seg_start + completion))
+        return completions
+
+    def advance(self, now, schedule, failed_cur, seg_start, tol):
+        ready = [(j, t) for j, t in self._batch if t < now - tol]
+        if not ready or schedule is None:
+            return []
+        self._batch = [(j, t) for j, t in self._batch if t >= now - tol]
+        return self._simulate(ready, schedule, failed_cur, seg_start)
+
+    def on_tolerated_crash(self, processor: str, now: float) -> None:
+        pass  # the next batch restarts under the enlarged crash set anyway
+
+    def on_crash_charged(self, schedule, failed_cur, seg_start, tol):
+        """Seal the outstanding batch before a new crash is charged.
+
+        Queue admission can leave entries with admission instants in the
+        future (drained backlog waiting for its slot).  Their fate was sealed
+        when they were admitted, so they must be simulated under the crash
+        set of *that* moment — a later crash may destroy exit coverage and
+        the kernel would (rightly) refuse to simulate under it.  With shed
+        admission the batch is always empty here (every admission instant is
+        in the past and was flushed by the preceding advance), so the
+        historical traces are untouched.
+        """
+        if not self._batch or schedule is None:
+            return []
+        batch, self._batch = self._batch, []
+        return self._simulate(batch, schedule, failed_cur, seg_start)
+
+    def on_rebuild_start(self, now: float, pending: Iterable[int]) -> None:
+        pass  # fates were sealed at admission; nothing in flight survives
+
+    def on_rebuild_complete(self, schedule: Schedule, now: float, pending: Iterable[int]) -> None:
+        pass
+
+    def on_abort(self, now: float) -> None:
+        self._batch.clear()
+
+    def finalize(self, schedule, failed_cur, seg_start, tol):
+        if not self._batch or schedule is None:
+            return []
+        batch, self._batch = self._batch, []
+        return self._simulate(batch, schedule, failed_cur, seg_start)
+
+
 class OnlineRuntime:
     """Discrete-event online executor (see module docstring)."""
 
@@ -77,6 +210,8 @@ class OnlineRuntime:
         rebuild_overhead: float = 1.0,
         rebuild_beyond_epsilon: bool = True,
         rebuild_on_repair: bool = False,
+        admission: str | AdmissionPolicy = "shed",
+        checkpoint: bool = True,
     ):
         if not schedule.is_complete():
             raise ScheduleError("cannot run an incomplete schedule online")
@@ -89,9 +224,11 @@ class OnlineRuntime:
         self.schedule = schedule
         self.fault_trace = fault_trace
         self.policy = resolve_policy(policy)
+        self.admission = resolve_admission(admission)
         self.rebuild_overhead = float(rebuild_overhead)
         self.rebuild_beyond_epsilon = bool(rebuild_beyond_epsilon)
         self.rebuild_on_repair = bool(rebuild_on_repair)
+        self.checkpoint = bool(checkpoint)
 
     # ---------------------------------------------------------------- execution
     def run(self, num_datasets: int = 100) -> RuntimeTrace:
@@ -109,6 +246,11 @@ class OnlineRuntime:
 
         records: list[DatasetRecord | None] = [None] * num_datasets
         log: list[RuntimeEvent] = []
+        admission = self.admission
+        admission.reset()
+        executor = (
+            _IncrementalExecutor(initial) if self.checkpoint else _FlushExecutor(initial)
+        )
 
         # --- mutable runtime state
         schedule: Schedule | None = initial
@@ -126,37 +268,44 @@ class OnlineRuntime:
         rebuilds = 0
         aborted = False
         abort_time = _INF
+        pending: dict[int, float] = {}  # admitted, in flight: dataset -> release
 
-        def flush(end: float) -> None:
+        def record_completions(completions) -> None:
+            for j, t in completions:
+                records[j] = DatasetRecord(j, pending.pop(j), t, "completed")
+
+        def admit(j: int, release: float, admit_time: float) -> None:
+            nonlocal next_slot
+            pending[j] = release
+            executor.admit(j, release, admit_time)
+            next_slot = admit_time + admit_period
+
+        def scan_releases(end: float) -> None:
             """Decide the fate of data sets released in ``[seg_start, end)``."""
-            nonlocal next_j, next_slot
-            admitted: list[tuple[int, float]] = []
+            nonlocal next_j
             while next_j < num_datasets and releases[next_j] < end - tol:
-                r = releases[next_j]
-                if aborted:
-                    records[next_j] = DatasetRecord(next_j, r, None, "lost-abort")
-                elif rebuilding:
-                    records[next_j] = DatasetRecord(next_j, r, None, "lost-downtime")
-                elif r >= next_slot - tol:
-                    admitted.append((next_j, r))
-                    next_slot = r + admit_period
-                else:
-                    records[next_j] = DatasetRecord(next_j, r, None, "shed")
+                j, r = next_j, releases[next_j]
                 next_j += 1
-            if admitted and schedule is not None:
-                # A data set released within float tolerance of the segment
-                # start can land a hair before it; clamp to keep the simulator
-                # releases non-negative (its recorded release stays exact).
-                sim = StreamingSimulator(
-                    schedule, CrashScenario(frozenset(failed_cur))
-                ).run(
-                    len(admitted),
-                    release_times=[max(0.0, r - seg_start) for _, r in admitted],
+                if aborted:
+                    records[j] = DatasetRecord(j, r, None, "lost-abort")
+                    continue
+                verb, arg = admission.on_release(
+                    j,
+                    r,
+                    rebuilding=rebuilding,
+                    next_slot=next_slot,
+                    admit_period=admit_period,
+                    tol=tol,
                 )
-                for k, (j, r) in enumerate(admitted):
-                    records[j] = DatasetRecord(
-                        j, r, seg_start + sim.completion_times[k], "completed"
-                    )
+                if verb == DROP:
+                    records[j] = DatasetRecord(j, r, None, arg)
+                elif verb == ADMIT:
+                    admit(j, r, arg)
+                # "defer": buffered inside the admission policy
+
+        def drain_admission() -> None:
+            for j, r in admission.drain():
+                admit(j, r, max(r, next_slot))
 
         def start_rebuild(now: float, kind: str, processor: str | None) -> None:
             nonlocal rebuilding, rebuild_done, down_since
@@ -164,6 +313,7 @@ class OnlineRuntime:
             down_since = now
             rebuild_done = now + self.rebuild_overhead * period
             log.append(RuntimeEvent(now, kind, processor))
+            executor.on_rebuild_start(now, tuple(pending))
 
         def abort(now: float, reason: str) -> None:
             nonlocal aborted, schedule, abort_time
@@ -171,14 +321,21 @@ class OnlineRuntime:
             schedule = None
             abort_time = now
             log.append(RuntimeEvent(now, "abort", None, reason))
+            executor.on_abort(now)
+            for j, r in admission.drain():
+                records[j] = DatasetRecord(j, r, None, "lost-abort")
+            for j, r in pending.items():
+                records[j] = DatasetRecord(j, r, None, "lost-abort")
+            pending.clear()
 
         i = 0
         while True:
             next_fault = fault_events[i].time if i < len(fault_events) else _INF
             now = min(next_fault, rebuild_done, horizon)
-            flush(now)
+            scan_releases(now)
             if now >= horizon:
-                break
+                break  # the final advance happens in executor.finalize()
+            record_completions(executor.advance(now, schedule, failed_cur, seg_start, tol))
 
             if rebuilding and rebuild_done <= next_fault:
                 # ------------------------------------------------ rebuild done
@@ -207,6 +364,8 @@ class OnlineRuntime:
                         failed_cur = set()
                         admit_period = _effective_period(schedule)
                         next_slot = now
+                        executor.on_rebuild_complete(schedule, now, tuple(pending))
+                        drain_admission()
                         log.append(
                             RuntimeEvent(
                                 now,
@@ -235,6 +394,9 @@ class OnlineRuntime:
                 if event.processor not in used:
                     log.append(RuntimeEvent(now, "crash-unused", event.processor))
                     continue
+                record_completions(
+                    executor.on_crash_charged(schedule, failed_cur, seg_start, tol)
+                )
                 failed_cur.add(event.processor)
                 valid = valid_replicas_under_failures(schedule, failed_cur)
                 survives = all(valid[t] for t in graph.exit_tasks())
@@ -248,6 +410,7 @@ class OnlineRuntime:
                             f"{len(failed_cur)}/{schedule.epsilon} crashes absorbed",
                         )
                     )
+                    executor.on_tolerated_crash(event.processor, now)
                     seg_start = now
                 else:
                     start_rebuild(now, "crash-rebuild", event.processor)
@@ -256,14 +419,33 @@ class OnlineRuntime:
                 dead.discard(event.processor)
                 log.append(RuntimeEvent(now, "repair", event.processor))
                 if self.rebuild_on_repair and not rebuilding and not aborted:
-                    start_rebuild(now, "repair-rebuild", event.processor)
-                    seg_start = now
+                    improves, why = self._repair_improves(
+                        schedule, failed_cur, admit_period, dead, graph, platform0,
+                        period, initial,
+                    )
+                    if improves:
+                        start_rebuild(now, "repair-rebuild", event.processor)
+                        seg_start = now
+                    else:
+                        log.append(
+                            RuntimeEvent(now, "repair-rebuild-skipped", event.processor, why)
+                        )
 
         if rebuilding and down_since is not None:
             downtime += horizon - down_since
         if aborted and abort_time < horizon:
             # An aborted stream accepts nothing for the rest of the horizon.
             downtime += horizon - abort_time
+
+        record_completions(executor.finalize(schedule, failed_cur, seg_start, tol))
+        if pending:
+            # The data plane was abandoned mid-rebuild and the horizon ended
+            # before a new schedule could replay the checkpointed data sets.
+            for j, r in pending.items():
+                records[j] = DatasetRecord(j, r, None, "lost-downtime")
+            pending.clear()
+        for j, r in admission.drain():
+            records[j] = DatasetRecord(j, r, None, "lost-downtime")
 
         assert all(r is not None for r in records)
         return RuntimeTrace(
@@ -276,7 +458,43 @@ class OnlineRuntime:
             aborted=aborted,
             final_alive=tuple(p for p in platform0.processor_names if p not in dead),
             policy=self.policy.name,
+            admission=admission.name,
+            checkpoint=self.checkpoint,
         )
+
+    # ------------------------------------------------------------- repair probe
+    def _repair_improves(
+        self, schedule, failed_cur, admit_period, dead, graph, platform0, period, initial
+    ) -> tuple[bool, str]:
+        """Anticipatory ``rebuild_on_repair`` probe: is a rebuild worth downtime?
+
+        Runs the rescheduling policy *speculatively* (no downtime charged) on
+        the repaired platform and commits to a real rebuild only when the
+        candidate improves the achievable admission period or the resilience
+        margin left by the crashes charged against the current schedule.
+        """
+        degraded = (
+            bool(failed_cur)
+            or admit_period > period * (1 + 1e-6)
+            or schedule.epsilon < initial.epsilon
+        )
+        if not degraded:
+            return False, "current schedule already meets the original period and resilience"
+        survivors = [p for p in platform0.processor_names if p not in dead]
+        target_eps = min(initial.epsilon, len(survivors) - 1)
+        try:
+            candidate = self.policy.reschedule(
+                graph, platform0.subset(survivors), period, target_eps, previous=schedule
+            )
+        except SchedulingError:
+            return False, "no feasible schedule on the repaired platform"
+        cand_period = _effective_period(candidate)
+        margin = schedule.epsilon - len(failed_cur)
+        if cand_period < admit_period * (1 - 1e-9):
+            return True, f"period {admit_period:g} -> {cand_period:g}"
+        if cand_period <= admit_period * (1 + 1e-9) and candidate.epsilon > margin:
+            return True, f"resilience margin {margin} -> {candidate.epsilon}"
+        return False, "candidate schedule is no better than the current one"
 
 
 def run_online(
@@ -285,9 +503,16 @@ def run_online(
     num_datasets: int = 100,
     policy: str | ReschedulePolicy = "rltf",
     rebuild_overhead: float = 1.0,
+    admission: str | AdmissionPolicy = "shed",
+    checkpoint: bool = True,
 ) -> RuntimeTrace:
     """Convenience wrapper: run *schedule* online through *fault_trace*."""
     runtime = OnlineRuntime(
-        schedule, fault_trace, policy=policy, rebuild_overhead=rebuild_overhead
+        schedule,
+        fault_trace,
+        policy=policy,
+        rebuild_overhead=rebuild_overhead,
+        admission=admission,
+        checkpoint=checkpoint,
     )
     return runtime.run(num_datasets)

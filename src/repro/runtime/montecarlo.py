@@ -16,7 +16,9 @@ from repro.core.rltf import rltf_schedule
 from repro.exceptions import SchedulingError
 from repro.failures.scenarios import FAULT_DISTRIBUTIONS, sample_fault_trace
 from repro.graph.generator import random_paper_workload
+from repro.runtime.admission import ADMISSION_POLICIES, QueueAdmissionPolicy
 from repro.runtime.engine import OnlineRuntime
+from repro.runtime.policies import RESCHEDULE_POLICIES
 from repro.runtime.trace import RuntimeTrace
 from repro.utils.checks import check_positive
 from repro.utils.rng import derive_seed, ensure_rng
@@ -43,6 +45,10 @@ class RuntimeTrialSpec:
     weibull_shape: float = 1.5
     mttr_periods: float | None = None
     policy: str = "rltf"
+    admission: str = "shed"
+    queue_capacity: int | None = 64
+    checkpoint: bool = True
+    rebuild_on_repair: bool = False
     rebuild_overhead: float = 1.0
     period_slack: float = 2.0
 
@@ -67,6 +73,19 @@ class RuntimeTrialSpec:
             raise ValueError(
                 f"distribution must be one of {FAULT_DISTRIBUTIONS}, "
                 f"got {self.distribution!r}"
+            )
+        if self.policy not in RESCHEDULE_POLICIES:
+            raise ValueError(
+                f"policy must be one of {RESCHEDULE_POLICIES.names}, got {self.policy!r}"
+            )
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_POLICIES.names}, "
+                f"got {self.admission!r}"
+            )
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1 or None, got {self.queue_capacity}"
             )
         if self.rebuild_overhead < 0:
             raise ValueError(
@@ -130,10 +149,16 @@ def run_trial(spec: RuntimeTrialSpec, seed: int) -> RuntimeTrace:
         else spec.mttr_periods * schedule.period,
         seed=fault_seed,
     )
+    admission = spec.admission
+    if admission == "queue":
+        admission = QueueAdmissionPolicy(capacity=spec.queue_capacity)
     runtime = OnlineRuntime(
         schedule,
         fault_trace,
         policy=spec.policy,
         rebuild_overhead=spec.rebuild_overhead,
+        rebuild_on_repair=spec.rebuild_on_repair,
+        admission=admission,
+        checkpoint=spec.checkpoint,
     )
     return runtime.run(spec.num_datasets)

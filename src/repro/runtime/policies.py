@@ -19,6 +19,12 @@ Two policies are provided:
   achievable rate).
 
 Both are deterministic: given the same inputs they return the same schedule.
+
+Policies are resolved *by name* through the :data:`RESCHEDULE_POLICIES`
+registry (:class:`~repro.utils.registry.PolicyRegistry`): the CLI derives its
+``--policy`` choices from it, :class:`~repro.runtime.montecarlo.RuntimeTrialSpec`
+validates against it, and the experiment sweeps iterate it — registering a new
+policy class here is all it takes to expose it everywhere.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.exceptions import SchedulingError
 from repro.graph.dag import TaskGraph
 from repro.platform.platform import Platform
 from repro.schedule.schedule import Schedule
+from repro.utils.registry import PolicyRegistry
 
 __all__ = [
     "ReschedulePolicy",
@@ -151,22 +158,12 @@ class RLTFReschedulePolicy:
         )
 
 
-#: policy name -> zero-argument factory.
-RESCHEDULE_POLICIES: dict[str, type] = {
-    RLTFReschedulePolicy.name: RLTFReschedulePolicy,
-    RemapReschedulePolicy.name: RemapReschedulePolicy,
-}
+#: registry of rescheduling policies: name -> zero-argument factory.
+RESCHEDULE_POLICIES = PolicyRegistry("rescheduling")
+RESCHEDULE_POLICIES.register(RLTFReschedulePolicy)
+RESCHEDULE_POLICIES.register(RemapReschedulePolicy)
 
 
 def resolve_policy(policy: str | ReschedulePolicy) -> ReschedulePolicy:
     """Coerce a policy name or instance into a policy instance."""
-    if isinstance(policy, str):
-        try:
-            return RESCHEDULE_POLICIES[policy]()
-        except KeyError:
-            raise ValueError(
-                f"unknown policy {policy!r}, expected one of {sorted(RESCHEDULE_POLICIES)}"
-            ) from None
-    if isinstance(policy, ReschedulePolicy):
-        return policy
-    raise TypeError(f"policy must be a name or a ReschedulePolicy, got {type(policy).__name__}")
+    return RESCHEDULE_POLICIES.resolve(policy, ReschedulePolicy)

@@ -21,8 +21,9 @@ import numpy as np
 
 __all__ = ["DatasetRecord", "RuntimeEvent", "RuntimeTrace", "RuntimeStats", "summarize_traces"]
 
-#: terminal states of one data set of the stream.
-DATASET_STATUSES = ("completed", "lost-downtime", "shed", "lost-abort")
+#: terminal states of one data set of the stream.  ``lost-overflow`` is the
+#: bounded-queue admission policy dropping the backlog that no longer fits.
+DATASET_STATUSES = ("completed", "lost-downtime", "shed", "lost-abort", "lost-overflow")
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,7 @@ class RuntimeEvent:
 
     time: float
     kind: str  # crash-tolerated | crash-rebuild | crash-unused | crash-during-rebuild
-    #          # | rebuild-complete | repair | repair-rebuild | abort
+    #          # | rebuild-complete | repair | repair-rebuild | repair-rebuild-skipped | abort
     processor: str | None = None
     detail: str = ""
 
@@ -79,6 +80,10 @@ class RuntimeTrace:
     aborted: bool
     final_alive: tuple[str, ...]
     policy: str
+    #: admission policy name and execution mode of the run (see
+    #: :mod:`repro.runtime.admission` and :mod:`repro.runtime.engine`).
+    admission: str = "shed"
+    checkpoint: bool = True
 
     # ------------------------------------------------------------------ counts
     @property

@@ -213,6 +213,29 @@ class Schedule:
         """For each predecessor task, the replicas *replica* receives data from."""
         return {k: tuple(v) for k, v in self._sources.get(replica, {}).items()}
 
+    def execution_time_of(self, replica: Replica) -> float:
+        """Execution time of *replica* on its assigned processor.
+
+        Read-only accessor used by the simulation kernel (:mod:`repro.sim`):
+        the kernel never touches the schedule's mutable state, it only reads
+        the mapping, the communication topology and the per-replica durations.
+        """
+        return self.platform.execution_time(
+            self.graph.work(replica.task), self.processor_of(replica)
+        )
+
+    def compute_intervals(self, processor: str) -> tuple:
+        """Busy intervals of the compute resource of *processor* (read-only)."""
+        return self.processor_state(processor).compute.intervals
+
+    def in_port_intervals(self, processor: str) -> tuple:
+        """Busy intervals of the in-port of *processor* (read-only)."""
+        return self.processor_state(processor).in_port.intervals
+
+    def out_port_intervals(self, processor: str) -> tuple:
+        """Busy intervals of the out-port of *processor* (read-only)."""
+        return self.processor_state(processor).out_port.intervals
+
     @property
     def comm_events(self) -> tuple[CommEvent, ...]:
         """Every committed communication, local ones included."""

@@ -1,0 +1,342 @@
+"""The one-port pipeline kernel: replicated compute + transfer event loop.
+
+The kernel executes the steady-state pipeline of a complete
+:class:`~repro.schedule.schedule.Schedule` one event at a time:
+
+* every valid replica executes one *compute operation* per admitted data set,
+  on its assigned processor, in FIFO order of the data sets;
+* every recorded communication gives one *transfer operation* per data set,
+  occupying the sender's out-port and the receiver's in-port simultaneously
+  (the bi-directional one-port model);
+* a replica starts processing data set ``j`` once, for each predecessor task,
+  the first input for ``j`` has arrived (active replication: the earliest
+  valid copy wins);
+* a data set *completes* when every exit task has produced it at least once.
+
+Two admission styles share this loop:
+
+* :meth:`PipelineKernel.admit_batch` pushes the release events of a whole
+  stream up front, replica-major — the exact event order of the original
+  offline simulator, preserved so that
+  :class:`~repro.failures.simulator.StreamingSimulator` results stay
+  byte-identical across the kernel extraction;
+* :meth:`PipelineKernel.admit` admits one data set at a time (dataset-major),
+  which is what the online runtime does between fault events.
+
+On top of plain execution the kernel supports the two online semantics the
+runtime needs:
+
+* :meth:`crash` marks a processor dead **mid-run**: queued/in-flight compute
+  and transfer operations of that processor are cancelled (fail-stop: its
+  memory and in-flight messages are lost), while operations that finished at
+  or before the crash instant stand.  Port reservations already granted are
+  not rolled back — a conservative, deterministic simplification;
+* :meth:`completed_tasks` / :meth:`admit_restored` implement
+  **checkpoint/restart**: completed per-task outputs (assumed copied to
+  stable storage as they are produced) are replayed into a fresh kernel built
+  on a rebuilt schedule, so in-flight data sets survive a rebuild instead of
+  re-executing from scratch.  Restored outputs are delivered to their
+  consumers at the restore instant with no transfer cost (they come from the
+  checkpoint store, not from a peer's out-port).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exceptions import ScheduleError
+from repro.schedule.replica import Replica
+from repro.schedule.schedule import Schedule
+from repro.schedule.validation import valid_replicas_under_failures
+from repro.sim.events import EventQueue
+
+__all__ = ["PipelineKernel"]
+
+#: event kinds understood by the loop.
+_RELEASE = "release"
+_COMPUTED = "computed"
+_ARRIVED = "arrived"
+
+
+@dataclass
+class _ReplicaRun:
+    """Book-keeping of one alive replica during the simulation."""
+
+    replica: Replica
+    processor: str
+    duration: float
+    needed: dict[str, int]  # predecessor task -> number of inputs required (always 1)
+    received: dict[int, set[str]] = field(default_factory=dict)  # dataset -> preds satisfied
+    finished: dict[int, float] = field(default_factory=dict)  # dataset -> scheduled finish
+    done: dict[int, float] = field(default_factory=dict)  # dataset -> actual completion
+
+
+class PipelineKernel:
+    """Discrete-event executor of one schedule under one (mutable) crash set."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        failed: Iterable[str] = (),
+        require_exit_coverage: bool = True,
+        valid_replicas: dict[str, list[Replica]] | None = None,
+    ):
+        """*valid_replicas* lets a driver that already ran
+        :func:`~repro.schedule.validation.valid_replicas_under_failures` for
+        *failed* (e.g. the offline simulator's constructor) hand the result
+        over instead of recomputing it here."""
+        if not schedule.is_complete():
+            raise ScheduleError("cannot simulate an incomplete schedule")
+        failed = frozenset(failed)
+        graph = schedule.graph
+        valid = (
+            valid_replicas
+            if valid_replicas is not None
+            else valid_replicas_under_failures(schedule, failed)
+        )
+        if require_exit_coverage:
+            for task in graph.exit_tasks():
+                if not valid[task]:
+                    raise ScheduleError(
+                        f"exit task {task!r} has no valid replica under scenario "
+                        f"CrashScenario({sorted(failed)})"
+                    )
+        self.schedule = schedule
+        self.graph = graph
+        valid_set = {r for reps in valid.values() for r in reps}
+
+        self._states: dict[Replica, _ReplicaRun] = {}
+        for replica in schedule.all_replicas():
+            if replica not in valid_set:
+                continue
+            self._states[replica] = _ReplicaRun(
+                replica=replica,
+                processor=schedule.processor_of(replica),
+                duration=schedule.execution_time_of(replica),
+                needed={pred: 1 for pred in graph.predecessors(replica.task)},
+            )
+        self._entry_states = [s for s in self._states.values() if not s.needed]
+
+        # communications between valid replicas only
+        self._comm_links: dict[Replica, list[tuple[Replica, float]]] = {}
+        for event in schedule.comm_events:
+            if event.source in self._states and event.destination in self._states:
+                self._comm_links.setdefault(event.source, []).append(
+                    (event.destination, event.duration)
+                )
+
+        names = schedule.platform.processor_names
+        self._compute_free: dict[str, float] = {p: 0.0 for p in names}
+        self._out_free: dict[str, float] = dict(self._compute_free)
+        self._in_free: dict[str, float] = dict(self._compute_free)
+
+        self._dead: set[str] = set()  # processors crashed *after* construction
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._exit_tasks = graph.exit_tasks()
+        self._exit_done: dict[int, dict[str, float]] = {}
+        self._completion: dict[int, float] = {}
+        self._admitted: dict[int, float] = {}  # dataset -> release instant
+        self._fresh: list[tuple[int, float]] = []  # completions since last drain
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def now(self) -> float:
+        """Simulation clock (time of the last processed event)."""
+        return self._now
+
+    @property
+    def completions(self) -> dict[int, float]:
+        """Completion instant of every completed data set."""
+        return dict(self._completion)
+
+    def completion_of(self, dataset: int) -> float | None:
+        """Completion instant of *dataset* (``None`` while in flight)."""
+        return self._completion.get(dataset)
+
+    def pending_datasets(self) -> tuple[int, ...]:
+        """Admitted data sets that have not completed yet, in admission order."""
+        return tuple(j for j in self._admitted if j not in self._completion)
+
+    def completed_tasks(self, dataset: int) -> frozenset[str]:
+        """Tasks whose output for *dataset* has actually been produced.
+
+        This is the checkpoint of the data set: every task here has at least
+        one replica that finished computing (or whose output was restored from
+        a previous checkpoint), so its output is in stable storage and can be
+        replayed into a rebuilt schedule with :meth:`admit_restored`.
+        """
+        return frozenset(
+            s.replica.task for s in self._states.values() if dataset in s.done
+        )
+
+    # ---------------------------------------------------------------- admission
+    def admit(self, dataset: int, release: float) -> None:
+        """Admit one data set: entry replicas receive it at *release*."""
+        self._register(dataset, release)
+        for state in self._entry_states:
+            self._queue.push(release, _RELEASE, (state.replica, dataset))
+
+    def admit_batch(self, releases: Sequence[float], first_index: int = 0) -> None:
+        """Admit a whole stream up front (offline-simulator event order).
+
+        Release events are pushed replica-major — for each entry replica, all
+        data sets in order — which is the historical push order of
+        :class:`~repro.failures.simulator.StreamingSimulator`; same-instant
+        ties therefore resolve exactly as they always did.
+        """
+        for k, release in enumerate(releases):
+            self._register(first_index + k, release)
+        for state in self._entry_states:
+            for k, release in enumerate(releases):
+                self._queue.push(release, _RELEASE, (state.replica, first_index + k))
+
+    def admit_restored(
+        self, dataset: int, restore: float, done_tasks: Iterable[str] = ()
+    ) -> None:
+        """Admit a data set whose *done_tasks* outputs come from a checkpoint.
+
+        Restored outputs are delivered to every consumer at *restore* with no
+        transfer cost; replicas of restored tasks never recompute.  Replicas
+        whose inputs are fully satisfied by the checkpoint (including entry
+        replicas of non-restored tasks) are kicked at *restore*.
+        """
+        done = frozenset(done_tasks)
+        self._register(dataset, restore)
+        for task in done:
+            if task in self._exit_tasks:
+                self._exit_done[dataset][task] = restore
+        if self._exit_done[dataset] and len(self._exit_done[dataset]) == len(
+            self._exit_tasks
+        ):
+            self._complete(dataset, restore)
+            return
+        for state in self._states.values():
+            if state.replica.task in done:
+                state.finished[dataset] = restore
+                state.done[dataset] = restore
+                continue
+            if state.needed:
+                got = state.received.setdefault(dataset, set())
+                got.update(done.intersection(state.needed))
+                if len(got) < len(state.needed):
+                    continue
+            self._queue.push(restore, _RELEASE, (state.replica, dataset))
+
+    def _register(self, dataset: int, release: float) -> None:
+        if dataset in self._admitted:
+            raise ScheduleError(f"data set {dataset} was already admitted")
+        self._admitted[dataset] = release
+        self._exit_done[dataset] = {}
+
+    # ----------------------------------------------------------------- failures
+    def crash(self, processor: str) -> None:
+        """Mark *processor* dead from now on (fail-stop, see module docstring).
+
+        Pending events touching the processor are cancelled lazily when they
+        surface; call :meth:`run_until` with the crash instant *before* this so
+        that operations finishing at or before the crash still count.
+        """
+        self._dead.add(processor)
+
+    # ---------------------------------------------------------------- execution
+    def run_until(self, time: float) -> list[tuple[int, float]]:
+        """Process every event up to and including *time*; return completions.
+
+        The returned list holds ``(dataset, completion_instant)`` pairs for
+        every data set that completed since the previous drain, in completion
+        order.
+        """
+        self._run_loop(time)
+        return self._drain()
+
+    def run_to_completion(self) -> list[tuple[int, float]]:
+        """Process every pending event; return the completions since last drain."""
+        self._run_loop(None)
+        return self._drain()
+
+    def _run_loop(self, limit: float | None) -> None:
+        """The hot loop: pop and dispatch events (bounded by *limit* if given).
+
+        Reads the raw heap directly — one Python-level call per event instead
+        of three keeps the kernel as fast as the pre-extraction closure-based
+        simulator loop.
+        """
+        heap = self._queue.heap
+        pop = heapq.heappop
+        step = self._step
+        now = self._now
+        while heap:
+            if limit is not None and heap[0][0] > limit:
+                break
+            now, _, kind, payload = pop(heap)
+            step(now, kind, payload)
+        self._now = now
+
+    def _drain(self) -> list[tuple[int, float]]:
+        fresh, self._fresh = self._fresh, []
+        return fresh
+
+    def _complete(self, dataset: int, time: float) -> None:
+        self._completion[dataset] = time
+        self._fresh.append((dataset, time))
+
+    def _try_start(self, state: _ReplicaRun, dataset: int, now: float) -> None:
+        """Start the compute of (replica, dataset) if all inputs are in."""
+        if dataset in state.finished:
+            return
+        if state.processor in self._dead:
+            return
+        got = state.received.get(dataset, set())
+        if len(got) < len(state.needed):
+            return
+        start = max(now, self._compute_free[state.processor])
+        finish = start + state.duration
+        self._compute_free[state.processor] = finish
+        state.finished[dataset] = finish
+        self._queue.push(finish, _COMPUTED, (state.replica, dataset))
+
+    def _step(self, now: float, kind: str, payload: object) -> None:
+        dead = self._dead
+        if kind == _RELEASE:
+            replica, dataset = payload
+            self._try_start(self._states[replica], dataset, now)
+        elif kind == _COMPUTED:
+            replica, dataset = payload
+            state = self._states[replica]
+            if state.processor in dead:
+                return  # the processor died while this compute was in flight
+            state.done[dataset] = now
+            task = replica.task
+            exit_done = self._exit_done[dataset]
+            if task in self._exit_tasks and task not in exit_done:
+                exit_done[task] = now
+                if len(exit_done) == len(self._exit_tasks):
+                    self._complete(dataset, now)
+            # forward the result along every recorded communication
+            for destination, duration in self._comm_links.get(replica, ()):
+                if self._states[destination].processor in dead:
+                    continue  # no point sending to a dead receiver
+                if duration == 0.0:
+                    self._queue.push(now, _ARRIVED, (replica, destination, dataset))
+                else:
+                    src_proc = state.processor
+                    dst_proc = self._states[destination].processor
+                    start = max(now, self._out_free[src_proc], self._in_free[dst_proc])
+                    self._out_free[src_proc] = start + duration
+                    self._in_free[dst_proc] = start + duration
+                    self._queue.push(
+                        start + duration, _ARRIVED, (replica, destination, dataset)
+                    )
+        elif kind == _ARRIVED:
+            source, destination, dataset = payload
+            if (
+                self._states[source].processor in dead
+                or self._states[destination].processor in dead
+            ):
+                return  # the transfer was in flight when an endpoint died
+            dst_state = self._states[destination]
+            dst_state.received.setdefault(dataset, set()).add(source.task)
+            self._try_start(dst_state, dataset, now)

@@ -1,0 +1,86 @@
+"""Name → factory registries for pluggable runtime policies.
+
+Both policy families of the online runtime — rescheduling
+(:mod:`repro.runtime.policies`) and admission
+(:mod:`repro.runtime.admission`) — are resolved *by name* from a
+:class:`PolicyRegistry`: the CLI builds its ``choices`` from the registry
+keys, the Monte-Carlo trial spec validates against it, and the experiment
+sweeps iterate it.  Registering a new policy in one place therefore makes it
+reachable from every layer (engine, CLI, campaigns) without further wiring.
+
+A registry is an immutable-feeling :class:`~collections.abc.Mapping` from
+policy name to zero-argument factory; :meth:`PolicyRegistry.resolve` coerces
+either a name or an already-built instance into an instance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["PolicyRegistry"]
+
+T = TypeVar("T")
+
+
+class PolicyRegistry(Mapping):
+    """A mapping of policy name → zero-argument factory."""
+
+    def __init__(self, kind: str):
+        self._kind = kind
+        self._factories: dict[str, Callable[[], object]] = {}
+
+    # ---------------------------------------------------------------- mutation
+    def register(self, factory: Callable[[], T], name: str | None = None) -> Callable[[], T]:
+        """Register *factory* under *name* (default: its ``name`` attribute).
+
+        Returns the factory so the method doubles as a class decorator.
+        """
+        key = name if name is not None else getattr(factory, "name", None)
+        if not key:
+            raise ValueError(f"cannot register {factory!r} without a name")
+        if key in self._factories:
+            raise ValueError(f"{self._kind} policy {key!r} is already registered")
+        self._factories[key] = factory
+        return factory
+
+    # ----------------------------------------------------------------- mapping
+    def __getitem__(self, name: str) -> Callable[[], object]:
+        return self._factories[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Registered policy names, sorted (used for CLI ``choices``)."""
+        return tuple(sorted(self._factories))
+
+    # --------------------------------------------------------------- resolution
+    def resolve(self, policy, protocol: type | None = None):
+        """Coerce a policy name or instance into a policy instance.
+
+        Raises :class:`ValueError` for unknown names and :class:`TypeError`
+        when *policy* is neither a string nor (when *protocol* is given) an
+        instance of *protocol*.
+        """
+        if isinstance(policy, str):
+            try:
+                return self._factories[policy]()
+            except KeyError:
+                raise ValueError(
+                    f"unknown {self._kind} policy {policy!r}, "
+                    f"expected one of {sorted(self._factories)}"
+                ) from None
+        if protocol is None or isinstance(policy, protocol):
+            return policy
+        raise TypeError(
+            f"{self._kind} policy must be a name or a "
+            f"{getattr(protocol, '__name__', protocol)}, got {type(policy).__name__}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PolicyRegistry({self._kind!r}, {sorted(self._factories)})"

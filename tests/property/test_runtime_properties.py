@@ -1,13 +1,19 @@
 """Property-based tests (hypothesis) of the online runtime.
 
-Two invariants promised by the design:
+Invariants promised by the design:
 
 * with **zero fault arrivals** the runtime is exactly the offline
   :class:`~repro.failures.simulator.StreamingSimulator` — same per-dataset
-  latencies, same achieved period;
+  latencies, same achieved period (and the incremental kernel admission is
+  equivalent to the batch admission the simulator uses);
 * with **at most ε crashes** charged against the initial schedule, active
   replication absorbs every failure: no rebuild happens and no data set is
-  ever lost.
+  ever lost — with *either* admission policy (``queue`` with an unbounded
+  buffer loses nothing that shed would have kept);
+* with **checkpointing disabled** the engine reproduces the historical
+  flush-and-restart traces exactly: each batch of releases between two state
+  changes is simulated from a cold pipeline (checked against a direct
+  StreamingSimulator oracle).
 """
 
 from __future__ import annotations
@@ -23,7 +29,9 @@ from repro.failures.scenarios import FaultEvent, FaultTrace
 from repro.failures.simulator import StreamingSimulator, simulate_stream
 from repro.graph.examples import figure2_graph
 from repro.platform.builders import figure2_platform
+from repro.runtime.admission import QueueAdmissionPolicy
 from repro.runtime.engine import OnlineRuntime
+from repro.sim.kernel import PipelineKernel
 
 SLOW = settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
@@ -68,6 +76,23 @@ def test_default_release_times_are_equivalent(num_datasets):
     assert explicit == implicit
 
 
+@SLOW
+@given(num_datasets=st.integers(min_value=1, max_value=30))
+def test_incremental_kernel_admission_matches_batch(num_datasets):
+    """Zero-fault invariant at the kernel level: admit() ≡ admit_batch()."""
+    period = _EPS1.period
+    batch = PipelineKernel(_EPS1)
+    batch.admit_batch([j * period for j in range(num_datasets)])
+    batch.run_to_completion()
+    incremental = PipelineKernel(_EPS1)
+    for j in range(num_datasets):
+        incremental.admit(j, j * period)
+    incremental.run_to_completion()
+    assert incremental.completions == batch.completions
+    sim = StreamingSimulator(_EPS1).run(num_datasets)
+    assert tuple(batch.completions[j] for j in range(num_datasets)) == sim.completion_times
+
+
 # ------------------------------------------------- ≤ ε crashes lose no data set
 @SLOW
 @given(data=st.data(), num_datasets=st.integers(min_value=5, max_value=25))
@@ -103,3 +128,77 @@ def test_two_crashes_within_epsilon2_lose_nothing(data, num_datasets):
     assert trace.num_rebuilds == 0
     assert trace.lost_count == 0
     assert trace.completed_count == num_datasets
+
+
+@SLOW
+@given(data=st.data(), num_datasets=st.integers(min_value=5, max_value=25))
+def test_queue_admission_unbounded_loses_nothing_within_epsilon(data, num_datasets):
+    """Queue admission with an unbounded buffer keeps every ≤ε-tolerated data set."""
+    used = sorted(_EPS1.used_processors())
+    victim = data.draw(st.sampled_from(used))
+    when = data.draw(st.floats(min_value=0.0, max_value=float(num_datasets - 1)))
+    events = (FaultEvent(when * _EPS1.period, victim, "crash"),)
+    trace = OnlineRuntime(
+        _EPS1,
+        FaultTrace(events, horizon=num_datasets * _EPS1.period),
+        admission=QueueAdmissionPolicy(capacity=None),
+    ).run(num_datasets)
+    assert trace.num_rebuilds == 0
+    assert trace.lost_count == 0
+    assert trace.completed_count == num_datasets
+    assert trace.admission == "queue"
+
+
+# ------------------------------------- checkpoint off ≡ flush-and-restart trace
+def _flush_and_restart_oracle(schedule, victim: str, crash_time: float, num_datasets: int):
+    """Reference flush-and-restart records for one tolerated crash.
+
+    The historical engine cuts the stream at the crash: data sets released
+    strictly before it are simulated from a cold pipeline under no failures;
+    data sets released after it are simulated from a *new* cold pipeline under
+    the crash set, with releases measured from the crash instant.  Every data
+    set is admitted (one crash within ε never sheds), so the oracle is a pair
+    of StreamingSimulator batches.
+    """
+    period = schedule.period
+    tol = 1e-9 * period
+    releases = [j * period for j in range(num_datasets)]
+    before = [j for j in range(num_datasets) if releases[j] < crash_time - tol]
+    after = [j for j in range(num_datasets) if j not in before]
+    completions: dict[int, float] = {}
+    if before:
+        sim = StreamingSimulator(schedule).run(
+            len(before), release_times=[releases[j] for j in before]
+        )
+        for k, j in enumerate(before):
+            completions[j] = sim.completion_times[k]
+    if after:
+        sim = StreamingSimulator(schedule, frozenset([victim])).run(
+            len(after),
+            release_times=[max(0.0, releases[j] - crash_time) for j in after],
+        )
+        for k, j in enumerate(after):
+            completions[j] = crash_time + sim.completion_times[k]
+    return completions
+
+
+@SLOW
+@given(data=st.data(), num_datasets=st.integers(min_value=4, max_value=20))
+def test_checkpoint_disabled_equals_flush_and_restart_trace(data, num_datasets):
+    used = sorted(_EPS1.used_processors())
+    victim = data.draw(st.sampled_from(used))
+    when = data.draw(
+        st.floats(min_value=0.25, max_value=float(num_datasets) - 0.25)
+    )
+    crash_time = when * _EPS1.period
+    events = (FaultEvent(crash_time, victim, "crash"),)
+    trace = OnlineRuntime(
+        _EPS1,
+        FaultTrace(events, horizon=num_datasets * _EPS1.period),
+        checkpoint=False,
+    ).run(num_datasets)
+    oracle = _flush_and_restart_oracle(_EPS1, victim, crash_time, num_datasets)
+    assert trace.completed_count == num_datasets
+    for record in trace.records:
+        assert record.completed
+        assert record.completion == oracle[record.index]

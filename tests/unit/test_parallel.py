@@ -2,13 +2,14 @@
 
 import pytest
 
-from repro.experiments.campaign import run_campaign
+from repro.experiments.campaign import instance_seeds, run_campaign, run_point
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.figures import ablation_rules, baseline_comparison
+from repro.experiments.figures import ablation_rules, baseline_comparison, scaling_study
 from repro.experiments.parallel import (
     parallel_map,
     run_runtime_campaign,
 )
+from repro.experiments.sweep import run_runtime_sweep
 from repro.runtime.montecarlo import RuntimeTrialSpec, run_trial
 
 TINY = ExperimentConfig(
@@ -90,6 +91,57 @@ class TestCampaignJobs:
         fanned = run_campaign(1, TINY, jobs=2)
         assert [p.metrics for p in serial.points] == [p.metrics for p in fanned.points]
         assert [p.failures for p in serial.points] == [p.failures for p in fanned.points]
+
+    def test_instance_seeds_are_stable(self):
+        a = instance_seeds(TINY, 0.5, 1)
+        b = instance_seeds(TINY, 0.5, 1)
+        assert a == b and len(a) == TINY.num_graphs
+        assert instance_seeds(TINY, 1.5, 1) != a
+
+    def test_run_point_shards_within_the_point(self):
+        """Per-graph fan-out: a single point parallelises bit-for-bit."""
+        config = TINY.with_overrides(num_graphs=3)
+        serial = run_point(1.0, epsilon=1, config=config, jobs=1)
+        fanned = run_point(1.0, epsilon=1, config=config, jobs=3)
+        assert serial.metrics == fanned.metrics
+        assert serial.failures == fanned.failures
+
+    def test_run_point_agrees_with_run_campaign(self):
+        config = TINY.with_overrides(num_graphs=2)
+        campaign = run_campaign(1, config, jobs=2)
+        point = run_point(config.granularities[0], epsilon=1, config=config)
+        assert campaign.points[0].metrics == point.metrics
+
+    def test_scaling_study_jobs_preserve_workloads(self):
+        serial = scaling_study(sizes=(10, 20), epsilon=0, config=TINY, jobs=1)
+        fanned = scaling_study(sizes=(10, 20), epsilon=0, config=TINY, jobs=2)
+        # wall-clock numbers differ, the structure and x axis must not
+        assert serial.x == fanned.x == (10.0, 20.0)
+        assert set(serial.series) == set(fanned.series) == {"LTF", "R-LTF"}
+
+    def test_runtime_sweep_jobs_are_bit_for_bit_identical(self):
+        spec = SPEC.with_overrides(num_datasets=20)
+        serial = run_runtime_sweep(
+            spec, mttf_grid=(30.0, 60.0), mttr_grid=(None,), shapes=(1.0,),
+            trials=2, seed=3, jobs=1,
+        )
+        fanned = run_runtime_sweep(
+            spec, mttf_grid=(30.0, 60.0), mttr_grid=(None,), shapes=(1.0,),
+            trials=2, seed=3, jobs=2,
+        )
+        assert serial.points == fanned.points
+        figure = serial.figure("availability")
+        assert figure.x == (30.0, 60.0)
+        assert set(figure.series) == {"mttr=∞, shape=1"}
+        assert len(serial.figures()) == 4
+
+    def test_runtime_sweep_validation(self):
+        with pytest.raises(ValueError):
+            run_runtime_sweep(SPEC, mttf_grid=(), trials=1)
+        with pytest.raises(ValueError):
+            run_runtime_sweep(SPEC, trials=0)
+        with pytest.raises(ValueError):
+            run_runtime_sweep(SPEC, mttf_grid=(None,), trials=1)
 
     def test_ablations_parallel_identical(self):
         serial = ablation_rules(TINY, jobs=1)

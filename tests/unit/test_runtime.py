@@ -8,6 +8,12 @@ from repro.core.rltf import rltf_schedule
 from repro.exceptions import ScheduleError, SchedulingError
 from repro.failures.scenarios import FaultEvent, FaultTrace, sample_fault_trace
 from repro.failures.simulator import simulate_stream
+from repro.runtime.admission import (
+    ADMISSION_POLICIES,
+    QueueAdmissionPolicy,
+    ShedAdmissionPolicy,
+    resolve_admission,
+)
 from repro.runtime.engine import OnlineRuntime, run_online
 from repro.runtime.policies import (
     RESCHEDULE_POLICIES,
@@ -146,6 +152,136 @@ class TestPolicies:
             RLTFReschedulePolicy(period_backoffs=(0.5,))
 
 
+# ------------------------------------------------------------------ admission
+class TestAdmissionPolicies:
+    def test_registry_and_resolution(self):
+        assert set(ADMISSION_POLICIES) == {"shed", "queue"}
+        assert resolve_admission("shed").name == "shed"
+        policy = QueueAdmissionPolicy(capacity=None)
+        assert resolve_admission(policy) is policy
+        with pytest.raises(ValueError):
+            resolve_admission("nope")
+        with pytest.raises(TypeError):
+            resolve_admission(42)
+        with pytest.raises(ValueError):
+            QueueAdmissionPolicy(capacity=0)
+
+    def test_shed_decisions(self):
+        shed = ShedAdmissionPolicy()
+        common = dict(admit_period=1.0, tol=0.0)
+        assert shed.on_release(0, 5.0, rebuilding=True, next_slot=0.0, **common) == (
+            "drop", "lost-downtime",
+        )
+        assert shed.on_release(0, 5.0, rebuilding=False, next_slot=4.0, **common) == (
+            "admit", 5.0,
+        )
+        assert shed.on_release(0, 5.0, rebuilding=False, next_slot=9.0, **common) == (
+            "drop", "shed",
+        )
+
+    def test_queue_buffers_through_downtime(self):
+        queue = QueueAdmissionPolicy(capacity=2)
+        common = dict(rebuilding=True, next_slot=0.0, admit_period=1.0, tol=0.0)
+        assert queue.on_release(0, 1.0, **common)[0] == "defer"
+        assert queue.on_release(1, 2.0, **common)[0] == "defer"
+        assert queue.on_release(2, 3.0, **common) == ("drop", "lost-overflow")
+        assert queue.drain() == [(0, 1.0), (1, 2.0)]
+        assert queue.drain() == []
+
+    def test_queue_waits_for_the_next_slot_instead_of_shedding(self):
+        queue = QueueAdmissionPolicy()
+        verb, when = queue.on_release(
+            0, 5.0, rebuilding=False, next_slot=9.0, admit_period=1.0, tol=0.0
+        )
+        assert (verb, when) == ("admit", 9.0)
+
+    def test_queue_bounds_the_waiting_line_while_running(self):
+        """The capacity applies to throttling backlog, not just downtime."""
+        queue = QueueAdmissionPolicy(capacity=3)
+        # 5 data sets are already waiting for their slot -> over capacity
+        assert queue.on_release(
+            0, 10.0, rebuilding=False, next_slot=15.0, admit_period=1.0, tol=0.0
+        ) == ("drop", "lost-overflow")
+        # 2 waiting -> fits
+        assert queue.on_release(
+            0, 13.0, rebuilding=False, next_slot=15.0, admit_period=1.0, tol=0.0
+        ) == ("admit", 15.0)
+        unbounded = QueueAdmissionPolicy(capacity=None)
+        assert unbounded.on_release(
+            0, 0.0, rebuilding=False, next_slot=1e9, admit_period=1.0, tol=0.0
+        )[0] == "admit"
+
+    def test_queue_admission_survives_a_rebuild_without_losses(self, replicated):
+        p1, p2 = replicated.used_processors()[:2]
+        period = replicated.period
+        faults = FaultTrace(
+            (
+                FaultEvent(period * 5.5, p1, "crash"),
+                FaultEvent(period * 12.5, p2, "crash"),
+            ),
+            horizon=40 * period,
+        )
+        shed = OnlineRuntime(replicated, faults, rebuild_overhead=2.0).run(40)
+        queued = OnlineRuntime(
+            replicated,
+            faults,
+            rebuild_overhead=2.0,
+            admission=QueueAdmissionPolicy(capacity=None),
+        ).run(40)
+        assert shed.lost_by_reason().get("lost-downtime", 0) >= 1
+        assert queued.lost_count == 0
+        assert queued.completed_count == 40
+        assert queued.admission == "queue"
+        # exactly the data sets shed lost to downtime completed from the queue
+        lost_in_shed = [r.index for r in shed.records if r.status == "lost-downtime"]
+        assert all(queued.records[j].completed for j in lost_in_shed)
+
+    def test_queue_backlog_survives_later_crashes_in_flush_mode(self, replicated):
+        """Regression: drained backlog entries wait for future slots; a later
+        coverage-destroying crash must not make the flush executor simulate
+        them under the new crash set (the kernel would refuse) — their fate
+        was sealed at admission."""
+        period = replicated.period
+        used = replicated.used_processors()
+        events = (
+            FaultEvent(5.5 * period, used[0], "crash"),
+            FaultEvent(12.5 * period, used[1], "crash"),
+            FaultEvent(19.5 * period, used[2], "crash"),
+        )
+        faults = FaultTrace(events, horizon=60 * period)
+        for checkpoint in (False, True):
+            trace = OnlineRuntime(
+                replicated,
+                faults,
+                rebuild_overhead=4.0,
+                admission=QueueAdmissionPolicy(capacity=None),
+                checkpoint=checkpoint,
+            ).run(60)
+            assert trace.num_datasets == 60
+            assert trace.num_rebuilds >= 1
+            assert all(r is not None for r in trace.records)
+
+    def test_bounded_queue_overflows_to_lost_overflow(self, replicated):
+        p1, p2 = replicated.used_processors()[:2]
+        period = replicated.period
+        faults = FaultTrace(
+            (
+                FaultEvent(period * 5.5, p1, "crash"),
+                FaultEvent(period * 8.5, p2, "crash"),
+            ),
+            horizon=40 * period,
+        )
+        trace = OnlineRuntime(
+            replicated,
+            faults,
+            rebuild_overhead=6.0,  # long downtime, tiny buffer
+            admission=QueueAdmissionPolicy(capacity=1),
+        ).run(40)
+        lost = trace.lost_by_reason()
+        assert lost.get("lost-overflow", 0) >= 1
+        assert lost.get("lost-downtime", 0) == 0
+
+
 # --------------------------------------------------------------------- engine
 class TestOnlineRuntime:
     def test_zero_faults_matches_offline_simulator(self, replicated):
@@ -254,6 +390,59 @@ class TestOnlineRuntime:
         assert trace.num_rebuilds == 1
         assert trace.events_of_kind("repair-rebuild")
 
+    def test_rebuild_on_repair_skips_pointless_repairs(self, fig2, fig2_platform):
+        # the crashed-and-repaired processor was never used: a rebuild would
+        # change nothing, so the anticipatory heuristic must not pay downtime
+        schedule = ltf_schedule(fig2, fig2_platform, throughput=0.05, epsilon=0)
+        unused = next(
+            p
+            for p in schedule.platform.processor_names
+            if p not in schedule.used_processors()
+        )
+        period = schedule.period
+        faults = FaultTrace(
+            (
+                FaultEvent(period * 3.5, unused, "crash"),
+                FaultEvent(period * 6.5, unused, "repair"),
+            ),
+            horizon=20 * period,
+        )
+        trace = OnlineRuntime(schedule, faults, rebuild_on_repair=True).run(20)
+        assert trace.num_rebuilds == 0
+        assert trace.downtime == 0.0
+        assert trace.events_of_kind("repair-rebuild-skipped")
+        assert not trace.events_of_kind("repair-rebuild")
+        assert trace.completed_count == 20
+
+    def test_checkpoint_replays_in_flight_datasets_across_a_rebuild(self, replicated):
+        p1, p2 = replicated.used_processors()[:2]
+        period = replicated.period
+        faults = FaultTrace(
+            (
+                FaultEvent(period * 5.5, p1, "crash"),
+                FaultEvent(period * 12.5, p2, "crash"),
+            ),
+            horizon=40 * period,
+        )
+        ckpt = OnlineRuntime(replicated, faults, rebuild_overhead=2.0, checkpoint=True).run(40)
+        flush = OnlineRuntime(replicated, faults, rebuild_overhead=2.0, checkpoint=False).run(40)
+        assert ckpt.checkpoint and not flush.checkpoint
+        # both modes lose the same data sets to downtime (admission is shared)
+        assert ckpt.lost_by_reason() == flush.lost_by_reason()
+        assert ckpt.num_rebuilds == flush.num_rebuilds == 1
+        # in-flight data sets at the crash survive the rebuild in both
+        # accountings, but the incremental engine really interleaves: the
+        # first data sets released after the tolerated crash keep their
+        # pipeline position instead of restarting a cold pipeline
+        assert ckpt.completed_count == flush.completed_count
+
+    def test_checkpoint_mode_zero_faults_equals_flush_mode(self, replicated):
+        empty = empty_trace(replicated, 15)
+        a = OnlineRuntime(replicated, empty, checkpoint=True).run(15)
+        b = OnlineRuntime(replicated, empty, checkpoint=False).run(15)
+        assert a.latencies == b.latencies
+        assert a.records[:15] == b.records[:15]
+
     def test_remap_policy_runs_online(self, replicated):
         p1, p2 = replicated.used_processors()[:2]
         period = replicated.period
@@ -345,6 +534,40 @@ class TestRuntimeCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "trials" in out and "rebuilds" in out
+
+    def test_runtime_command_with_queue_admission(self, capsys):
+        code = main(
+            [
+                "runtime", "--seed", "1", "--trials", "2", "--datasets", "25",
+                "--tasks", "12", "--processors", "5", "--epsilon", "1",
+                "--admission", "queue", "--queue-capacity", "0",
+                "--rebuild-on-repair", "--mttr", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "admission queue" in out
+
+    def test_runtime_sweep_command_smoke(self, capsys):
+        args = [
+            "runtime", "--sweep", "--trials", "1", "--datasets", "20",
+            "--tasks", "12", "--processors", "6", "--epsilon", "1",
+            "--sweep-mttf", "40,80", "--sweep-mttr", "none",
+            "--sweep-shapes", "1", "--no-plot",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "runtime_sweep:availability" in first
+        assert "runtime_sweep:loss rate" in first
+        assert main(args) == 0
+        assert capsys.readouterr().out == first  # seed-deterministic
+
+    def test_runtime_sweep_rejects_bad_grids(self, capsys):
+        code = main(
+            ["runtime", "--sweep", "--sweep-mttf", "frequently", "--trials", "1"]
+        )
+        assert code == 2
+        assert "invalid grid value" in capsys.readouterr().err
 
     def test_runtime_command_is_seed_deterministic(self, capsys):
         args = ["runtime", "--seed", "3", "--trials", "2", "--datasets", "20",

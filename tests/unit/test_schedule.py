@@ -124,6 +124,31 @@ class TestScheduleBasics:
     def test_makespan(self, manual_schedule):
         assert manual_schedule.makespan == pytest.approx(15.0)
 
+    def test_execution_time_of(self, manual_schedule):
+        replica = Replica("t1", 1)
+        proc = manual_schedule.processor_of(replica)
+        expected = manual_schedule.platform.execution_time(
+            manual_schedule.graph.work("t1"), proc
+        )
+        assert manual_schedule.execution_time_of(replica) == pytest.approx(expected)
+        with pytest.raises(ScheduleError):
+            manual_schedule.execution_time_of(Replica("t2", 1))  # not placed
+
+    def test_port_and_compute_interval_accessors(self, fig2, fig2_platform):
+        from repro.core.ltf import ltf_schedule
+
+        schedule = ltf_schedule(fig2, fig2_platform, throughput=0.05, epsilon=1)
+        for proc in schedule.used_processors():
+            compute = schedule.compute_intervals(proc)
+            # one busy interval per hosted replica, sorted by start time
+            assert len(compute) == len(schedule.replicas_on(proc))
+            assert list(compute) == sorted(compute, key=lambda iv: iv.start)
+            for port in (schedule.in_port_intervals(proc), schedule.out_port_intervals(proc)):
+                for a, b in zip(port, port[1:]):
+                    assert a.end <= b.start + 1e-9  # one-port: no overlap
+        with pytest.raises(ScheduleError):
+            schedule.compute_intervals("P99")
+
 
 class TestPlanPlacement:
     def test_missing_sources_rejected(self, manual_schedule):
