@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Domain example: a video pipeline surviving a day of processor failures.
+"""Domain example: a pipeline surviving a day of processor failures.
 
 The static machinery of the paper builds an ε-fault-tolerant schedule once.
-This script runs the *online* counterpart: the schedule executes an
-open-ended stream while processors crash following a seeded stochastic
-process; crashes within the ε guarantee are absorbed by active replication,
-and crashes beyond it trigger a live rebuild on the survivors (R-LTF
-rescheduling policy).  The script then compares the two rescheduling
-policies over a small Monte-Carlo campaign.
+This script runs the *online* counterpart through the declarative
+:class:`repro.Session` facade: the shipped ``examples/scenario.json`` file
+describes a schedule executing an open-ended stream while processors crash
+and come back following a seeded stochastic process; crashes within the ε
+guarantee are absorbed by active replication, and crashes beyond it trigger
+a live rebuild on the survivors.  The script then compares rescheduling and
+admission policies over small Monte-Carlo campaigns — each variant is just a
+one-field override of the same spec.
 
 Run with::
 
@@ -16,55 +18,47 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    OnlineRuntime,
-    RuntimeTrialSpec,
-    rltf_schedule,
-    random_paper_workload,
-    sample_fault_trace,
-    summarize_traces,
-)
-from repro.experiments.config import ExperimentConfig, workload_period
-from repro.experiments.parallel import run_runtime_campaign
+from pathlib import Path
+
+from repro import Session
 from repro.utils.ascii import format_table
+
+SCENARIO = Path(__file__).with_name("scenario.json")
 
 
 def single_run() -> None:
-    workload = random_paper_workload(1.0, seed=5, num_tasks=30, num_processors=8)
-    period = workload_period(workload, 2, ExperimentConfig())
-    schedule = rltf_schedule(workload.graph, workload.platform, period=period, epsilon=2)
-    faults = sample_fault_trace(
-        workload.platform,
-        horizon=200 * schedule.period,
-        mttf=60 * schedule.period,
-        mttr=30 * schedule.period,
-        seed=3,
+    session = Session.from_file(SCENARIO)
+    spec = session.spec
+    print(f"scenario file: {SCENARIO.name}")
+    print(spec.describe())
+    result = session.run_online(seed=3)
+    trace = result.trace
+    print(
+        f"  completed {trace.completed_count}/{trace.num_datasets} data sets, "
+        f"{trace.num_rebuilds} rebuilds, availability {trace.availability:.3f}"
     )
-    trace = OnlineRuntime(schedule, faults, policy="rltf").run(num_datasets=200)
-
-    print("One online run (ε = 2, mttf = 60Δ, mttr = 30Δ):")
-    print(f"  completed {trace.completed_count}/{trace.num_datasets} data sets, "
-          f"{trace.num_rebuilds} rebuilds, availability {trace.availability:.3f}")
     for event in trace.events:
-        print(f"  t={event.time:10.1f}  {event.kind:20s} {event.processor or ''} {event.detail}")
+        print(f"  t={event.time:10.1f}  {event.kind:22s} {event.processor or ''} {event.detail}")
 
 
 def policy_campaign() -> None:
     print()
     print("Monte-Carlo campaign — rescheduling policies compared (10 trials each):")
-    for policy in ("rltf", "remap"):
-        spec = RuntimeTrialSpec(
-            num_tasks=25,
-            num_processors=8,
-            epsilon=1,
-            num_datasets=150,
-            mttf_periods=100.0,
-            policy=policy,
-        )
-        result = run_runtime_campaign(spec, trials=10, seed=0, jobs=1)
-        stats = summarize_traces(result.traces)
+    base = Session.from_file(SCENARIO).spec.updated(
+        {"faults.mttr_periods": None, "faults.distribution": "exponential",
+         "runtime.admission": "shed", "runtime.rebuild_on_repair": False,
+         "faults.mttf_periods": 100.0, "scheduler.epsilon": 1}
+    )
+    for spec in base.grid({"runtime.policy": ["rltf", "remap"]}):
+        result = Session(spec).monte_carlo(trials=10, seed=0, jobs=1)
         print()
-        print(format_table(["statistic", "value"], stats.as_rows(), title=f"policy = {policy}"))
+        print(
+            format_table(
+                ["statistic", "value"],
+                result.as_rows(),
+                title=f"policy = {spec.runtime.policy}",
+            )
+        )
 
 
 def admission_comparison() -> None:
@@ -77,24 +71,17 @@ def admission_comparison() -> None:
     """
     print()
     print("Monte-Carlo campaign — admission policies compared (10 trials each):")
-    for admission in ("shed", "queue"):
-        spec = RuntimeTrialSpec(
-            num_tasks=25,
-            num_processors=8,
-            epsilon=1,
-            num_datasets=150,
-            mttf_periods=60.0,
-            mttr_periods=30.0,
-            admission=admission,
-            queue_capacity=None,  # unbounded backlog
-            rebuild_on_repair=True,  # anticipatory rebuilds on repair
-        )
-        result = run_runtime_campaign(spec, trials=10, seed=0, jobs=1)
-        stats = summarize_traces(result.traces)
+    base = Session.from_file(SCENARIO).spec.updated(
+        {"scheduler.epsilon": 1, "faults.distribution": "exponential"}
+    )
+    for spec in base.grid({"runtime.admission": ["shed", "queue"]}):
+        result = Session(spec).monte_carlo(trials=10, seed=0, jobs=1)
         print()
         print(
             format_table(
-                ["statistic", "value"], stats.as_rows(), title=f"admission = {admission}"
+                ["statistic", "value"],
+                result.as_rows(),
+                title=f"admission = {spec.runtime.admission}",
             )
         )
 

@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""Quickstart: schedule a random streaming workflow with LTF and R-LTF.
+"""Quickstart: one declarative scenario, every front end.
 
-The script generates one workload of the paper's experimental family (a random
-layered DAG on 20 heterogeneous processors), schedules it with both heuristics
-under the same throughput and fault-tolerance constraints, and prints the
-metrics the paper compares: pipeline stages, latency, communications, and the
-latency actually observed when processors crash.
+The script defines a scenario of the paper's experimental family once — as a
+:class:`repro.ScenarioSpec` — and drives the whole stack through the
+:class:`repro.Session` facade: build the LTF and R-LTF schedules under the
+same throughput and fault-tolerance constraints, compare the metrics the
+paper compares, then sanity-check the analytic latency model against the
+discrete-event simulator.
+
+The same spec serializes to JSON (``spec.to_json()``) and back, so anything
+printed here is reproducible from a scenario file:
+``repro-streaming run scenario.json --mode schedule``.
 
 Run with::
 
@@ -14,68 +19,59 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    collect_metrics,
-    expected_crash_latency,
-    fault_free_schedule,
-    latency_upper_bound,
-    ltf_schedule,
-    random_paper_workload,
-    rltf_schedule,
-    validate_schedule,
-)
-from repro.experiments.config import bench_config, workload_period
+from repro import ScenarioSpec, Session
 from repro.utils.ascii import format_table
 
 
 def main() -> None:
-    epsilon = 1  # tolerate one processor failure
-    workload = random_paper_workload(target_granularity=1.0, seed=42)
-    period = workload_period(workload, epsilon, bench_config())
-
+    # One spec, declared once.  workload.seed pins the workload (the run seed
+    # would otherwise derive a fresh one per run), epsilon tolerates one
+    # processor failure through active replication.
+    base = ScenarioSpec.from_dict(
+        {
+            "name": "quickstart",
+            "workload": {"granularity": 1.0, "num_tasks": None, "seed": 42},
+            "scheduler": {"name": "rltf", "epsilon": 1, "fallback": False},
+        }
+    )
+    session = Session(base)
+    workload = session.workload()
+    print(f"scenario: {base.describe()}")
     print(f"workload: {workload.graph}")
     print(f"platform: {workload.platform}")
-    print(f"period Δ = {period:.1f} (throughput T = {1 / period:.5f}), ε = {epsilon}")
     print()
 
-    fault_free = fault_free_schedule(
-        workload.graph, workload.platform, period=workload_period(workload, 0, bench_config())
-    )
-    reference = latency_upper_bound(fault_free)
-
+    # The scheduler is an axis like any other: expand the spec into one
+    # scenario per heuristic (the fault-free ε=0 reference rides along).
     rows = []
-    for name, scheduler in (("LTF", ltf_schedule), ("R-LTF", rltf_schedule)):
-        schedule = scheduler(workload.graph, workload.platform, period=period, epsilon=epsilon)
-        validate_schedule(schedule)
-        metrics = collect_metrics(schedule)
-        crash = expected_crash_latency(schedule, crashes=1, samples=5, seed=0, on_invalid="upper_bound")
+    for spec in base.grid({"scheduler.name": ["ltf", "rltf"]}) + [
+        base.updated({"scheduler.name": "fault-free", "scheduler.epsilon": 0})
+    ]:
+        result = Session(spec).schedule()
+        summary = result.summary()
         rows.append(
             [
-                name,
-                metrics.stages,
-                metrics.latency,
-                crash,
-                100.0 * (metrics.latency - reference) / reference,
-                metrics.remote_communications,
-                metrics.used_processors,
+                summary["algorithm"],
+                summary["epsilon"],
+                summary["stages"],
+                f"{summary['latency upper bound']:.1f}",
+                f"{summary['period']:.1f}",
+                summary["used processors"],
             ]
         )
-    rows.append([
-        "fault-free (ε=0)",
-        collect_metrics(fault_free).stages,
-        reference,
-        reference,
-        0.0,
-        collect_metrics(fault_free).remote_communications,
-        len(fault_free.used_processors()),
-    ])
-
     print(
         format_table(
-            ["algorithm", "stages", "latency", "latency (1 crash)", "overhead %", "remote comms", "procs"],
+            ["algorithm", "ε", "stages", "latency bound", "period Δ", "procs"],
             rows,
+            title="LTF vs R-LTF vs fault-free reference",
         )
     )
+    print()
+
+    # Same spec, third front end: stream 20 data sets through the offline
+    # simulator and check the analytic model L = (2S-1)·Δ from the outside.
+    simulated = session.simulate(num_datasets=20)
+    print(format_table(["metric", "value"], simulated.as_rows(), title="simulation"))
 
 
 if __name__ == "__main__":

@@ -107,8 +107,53 @@ from repro.baselines import (
     wmsh_schedule,
     minimal_period_schedule,
 )
+from repro.scenario import (
+    ScenarioSpec,
+    WorkloadSpec,
+    SchedulerSpec,
+    FaultSpec,
+    RuntimeSpec,
+)
+from repro.api import (
+    Session,
+    Result,
+    ScheduleResult,
+    SimulateResult,
+    OnlineResult,
+    MonteCarloResult,
+)
 
-__version__ = "1.0.0"
+
+def _load_version() -> str:
+    """Package version — single source of truth is ``pyproject.toml``.
+
+    A source-tree checkout (``PYTHONPATH=src``) answers from the
+    ``pyproject.toml`` sitting next to ``src/`` — checked *first*, so a stale
+    installed distribution elsewhere in the environment cannot shadow the
+    code actually being imported.  An installed package (no adjacent
+    pyproject) answers through its own ``importlib.metadata``.
+    """
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+        if match:
+            return match.group(1)
+    except OSError:
+        pass
+    try:
+        from importlib.metadata import version
+
+        return version("repro-streaming")
+    except Exception:  # PackageNotFoundError, or exotic broken metadata
+        return "0.0.0+unknown"
+
+
+__version__ = _load_version()
 
 __all__ = [
     "__version__",
@@ -189,4 +234,16 @@ __all__ = [
     "tda_schedule",
     "wmsh_schedule",
     "minimal_period_schedule",
+    # declarative scenarios + session facade
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "SchedulerSpec",
+    "FaultSpec",
+    "RuntimeSpec",
+    "Session",
+    "Result",
+    "ScheduleResult",
+    "SimulateResult",
+    "OnlineResult",
+    "MonteCarloResult",
 ]

@@ -1,0 +1,279 @@
+"""The Session facade: one typed entry point for every front end.
+
+A :class:`Session` wraps one :class:`~repro.scenario.spec.ScenarioSpec` and
+drives all four execution front ends of the reproduction through it —
+
+* :meth:`Session.schedule` — build the ε-fault-tolerant schedule (the static
+  machinery of the paper);
+* :meth:`Session.simulate` — stream data sets through the offline
+  discrete-event simulator (sanity check of the ``L = (2S−1)·Δ`` model);
+* :meth:`Session.run_online` — one seeded run of the online runtime under
+  stochastic failures, bit-identical to a direct
+  :class:`~repro.runtime.engine.OnlineRuntime` call on the same inputs;
+* :meth:`Session.monte_carlo` — a parallel Monte-Carlo campaign of such runs.
+
+All four return uniform :class:`Result` objects carrying the spec, the seed
+and a ``summary()`` of headline metrics, so reports and CLIs render any of
+them the same way.
+
+>>> from repro.api import Session
+>>> session = Session.from_dict({
+...     "workload": {"num_tasks": 15, "num_processors": 6},
+...     "scheduler": {"epsilon": 1},
+... })
+>>> result = session.schedule()
+>>> result.schedule.epsilon
+1
+
+Scenario files make the same session reproducible from disk::
+
+    session = Session.from_file("examples/scenario.json")
+    print(session.run_online(seed=0).summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar, Mapping
+
+from repro.failures.simulator import SimulationResult, StreamingSimulator
+from repro.graph.generator import PaperWorkload
+from repro.runtime.trace import RuntimeStats, RuntimeTrace
+from repro.scenario.run import (
+    build_schedule,
+    build_workload,
+    execute_online,
+    resolve_period,
+    resolve_seeds,
+)
+from repro.scenario.spec import ScenarioSpec
+from repro.schedule.metrics import latency_upper_bound
+from repro.schedule.stages import num_stages
+from repro.schedule.schedule import Schedule
+
+__all__ = [
+    "Session",
+    "Result",
+    "ScheduleResult",
+    "SimulateResult",
+    "OnlineResult",
+    "MonteCarloResult",
+]
+
+
+# ------------------------------------------------------------------- results
+@dataclass(frozen=True)
+class Result:
+    """Common shape of every Session outcome: spec + seed + summary."""
+
+    spec: ScenarioSpec
+    seed: int
+
+    kind: ClassVar[str] = "result"
+
+    def summary(self) -> dict[str, object]:
+        """Headline metrics of the run, name → value."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def as_rows(self) -> list[list[object]]:
+        """The summary as ``[name, value]`` rows for table rendering."""
+        return [[name, value] for name, value in self.summary().items()]
+
+
+@dataclass(frozen=True)
+class ScheduleResult(Result):
+    """Outcome of :meth:`Session.schedule`."""
+
+    workload: PaperWorkload
+    schedule: Schedule
+
+    kind: ClassVar[str] = "schedule"
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "algorithm": self.schedule.algorithm,
+            "period": self.schedule.period,
+            "epsilon": self.schedule.epsilon,
+            "stages": num_stages(self.schedule),
+            "latency upper bound": latency_upper_bound(self.schedule),
+            "used processors": len(self.schedule.used_processors()),
+        }
+
+
+@dataclass(frozen=True)
+class SimulateResult(Result):
+    """Outcome of :meth:`Session.simulate`."""
+
+    workload: PaperWorkload
+    schedule: Schedule
+    simulation: SimulationResult
+
+    kind: ClassVar[str] = "simulate"
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "datasets": self.simulation.num_datasets,
+            "steady-state latency": self.simulation.steady_state_latency,
+            "max latency": self.simulation.max_latency,
+            "achieved period": self.simulation.achieved_period,
+            "schedule period": self.simulation.period,
+        }
+
+
+@dataclass(frozen=True)
+class OnlineResult(Result):
+    """Outcome of :meth:`Session.run_online`."""
+
+    trace: RuntimeTrace
+
+    kind: ClassVar[str] = "online"
+
+    def summary(self) -> dict[str, object]:
+        trace = self.trace
+        return {
+            "datasets": trace.num_datasets,
+            "completed": trace.completed_count,
+            "lost": trace.lost_count,
+            "loss rate": trace.loss_rate,
+            "mean latency": trace.mean_latency,
+            "rebuilds": trace.num_rebuilds,
+            "downtime": trace.downtime,
+            "availability": trace.availability,
+            "aborted": trace.aborted,
+        }
+
+
+@dataclass(frozen=True)
+class MonteCarloResult(Result):
+    """Outcome of :meth:`Session.monte_carlo`."""
+
+    campaign: "RuntimeCampaignResult"  # noqa: F821 - imported lazily
+
+    kind: ClassVar[str] = "monte-carlo"
+
+    @property
+    def traces(self) -> tuple[RuntimeTrace, ...]:
+        return self.campaign.traces
+
+    @property
+    def stats(self) -> RuntimeStats:
+        return self.campaign.stats
+
+    def summary(self) -> dict[str, object]:
+        return {name: value for name, value in self.stats.as_rows()}
+
+
+# ------------------------------------------------------------------- session
+class Session:
+    """Run one declarative scenario through any front end (see module doc)."""
+
+    def __init__(self, spec: ScenarioSpec):
+        if not isinstance(spec, ScenarioSpec):
+            raise TypeError(
+                f"Session expects a ScenarioSpec, got {type(spec).__name__} "
+                f"(use Session.from_dict / Session.from_file for raw data)"
+            )
+        self._spec = spec
+        # (workload, schedule, period) per seed — schedule() then simulate()
+        # on the same seed builds the pipeline once.
+        self._built: dict[int, tuple[PaperWorkload, Schedule]] = {}
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "Session":
+        """Session over an already-built spec (alias of the constructor)."""
+        return cls(spec)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Session":
+        """Session from a nested scenario mapping (validated)."""
+        return cls(ScenarioSpec.from_dict(data))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Session":
+        """Session from a scenario JSON document."""
+        return cls(ScenarioSpec.from_json(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Session":
+        """Session from a scenario JSON file (``scenario.json``)."""
+        return cls(ScenarioSpec.from_file(path))
+
+    # ----------------------------------------------------------------- access
+    @property
+    def spec(self) -> ScenarioSpec:
+        """The immutable scenario this session runs."""
+        return self._spec
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Session({self._spec.describe()})"
+
+    # ------------------------------------------------------------- front ends
+    def _pipeline(self, seed: int) -> tuple[PaperWorkload, Schedule]:
+        if seed not in self._built:
+            workload_seed, _ = resolve_seeds(self._spec, seed)
+            workload = build_workload(self._spec.workload, workload_seed)
+            period = resolve_period(workload, self._spec.scheduler)
+            schedule = build_schedule(workload, self._spec.scheduler, period)
+            self._built[seed] = (workload, schedule)
+        return self._built[seed]
+
+    def workload(self, seed: int = 0) -> PaperWorkload:
+        """Materialize the scenario's workload for one run seed."""
+        return self._pipeline(seed)[0]
+
+    def schedule(self, seed: int = 0) -> ScheduleResult:
+        """Build the ε-fault-tolerant schedule of the scenario."""
+        workload, schedule = self._pipeline(seed)
+        return ScheduleResult(
+            spec=self._spec, seed=seed, workload=workload, schedule=schedule
+        )
+
+    def simulate(
+        self, num_datasets: int | None = None, seed: int = 0
+    ) -> SimulateResult:
+        """Stream data sets through the offline (crash-free) simulator."""
+        workload, schedule = self._pipeline(seed)
+        count = self._spec.runtime.num_datasets if num_datasets is None else num_datasets
+        simulation = StreamingSimulator(schedule).run(count)
+        return SimulateResult(
+            spec=self._spec,
+            seed=seed,
+            workload=workload,
+            schedule=schedule,
+            simulation=simulation,
+        )
+
+    def run_online(self, seed: int = 0) -> OnlineResult:
+        """One seeded online run under the scenario's stochastic failures.
+
+        The trace is a pure function of ``(spec, seed)`` and bit-identical to
+        the equivalent direct :class:`~repro.runtime.engine.OnlineRuntime`
+        call (the historical Monte-Carlo trial path).  The workload and
+        schedule come from the per-seed pipeline cache, so
+        ``schedule()`` / ``simulate()`` / ``run_online()`` on one seed build
+        them once.
+        """
+        workload, schedule = self._pipeline(seed)
+        _, fault_seed = resolve_seeds(self._spec, seed)
+        return OnlineResult(
+            spec=self._spec,
+            seed=seed,
+            trace=execute_online(self._spec, workload, schedule, fault_seed),
+        )
+
+    def monte_carlo(
+        self, trials: int = 20, seed: int = 0, jobs: int | None = 1
+    ) -> MonteCarloResult:
+        """A Monte-Carlo campaign of online runs, ``jobs`` trials at a time.
+
+        Child seeds derive up front from *seed*, so the result is bit-for-bit
+        identical for any ``jobs`` value.
+        """
+        # Imported lazily: the experiments package must not load on import of
+        # the facade (it pulls the whole campaign/figure stack).
+        from repro.experiments.parallel import run_runtime_campaign
+
+        campaign = run_runtime_campaign(self._spec, trials=trials, seed=seed, jobs=jobs)
+        return MonteCarloResult(spec=self._spec, seed=seed, campaign=campaign)

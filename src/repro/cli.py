@@ -31,6 +31,19 @@ figure-style report::
 
     repro-streaming runtime --sweep --jobs 4
     repro-streaming runtime --sweep --sweep-mttf 50,100,200 --sweep-mttr none,25 --sweep-shapes 0.7,1,1.5
+
+Declarative scenarios: define a scenario once as JSON and drive any front end
+(schedule / simulate / online run / Monte-Carlo campaign) through the
+:class:`~repro.api.Session` facade::
+
+    repro-streaming run examples/scenario.json                     # online run
+    repro-streaming run examples/scenario.json --mode monte-carlo --trials 50 --jobs 4
+    repro-streaming run examples/scenario.json --mode schedule
+    repro-streaming run examples/scenario.json --smoke             # tiny run of all four modes
+
+    repro-streaming config --emit > scenario.json                  # dump the default spec
+    repro-streaming config --mttf 60 --mttr 30 --admission queue --emit
+    repro-streaming config --scenario scenario.json                # validate a file
 """
 
 from __future__ import annotations
@@ -58,12 +71,17 @@ _FIGURES: dict[str, Callable[..., "fig.FigureSeries"]] = {
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for the tests)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-streaming",
         description=(
             "Reproduction of 'Optimizing the Latency of Streaming Applications under "
             "Throughput and Reliability Constraints' (Benoit, Hakem, Robert, 2009)."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -79,6 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
         _add_scale_options(p)
     sub.add_parser("examples", help="print the Figure 1 and Figure 2 worked examples")
     _add_runtime_parser(sub)
+    _add_run_parser(sub)
+    _add_config_parser(sub)
     return parser
 
 
@@ -109,39 +129,54 @@ def _add_scale_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_runtime_parser(sub) -> None:
-    p = sub.add_parser(
-        "runtime",
-        help="Monte-Carlo campaign of the online runtime under stochastic failures",
+def _mttr_value(text: str) -> float | None:
+    """``--mttr`` argument: a float, or ``none``/``inf`` for fail-stop."""
+    if text.lower() in ("none", "inf"):
+        return None
+    return float(text)
+
+
+def _add_spec_options(p: argparse.ArgumentParser, suppress: bool = False) -> None:
+    """The scenario-building flags shared by ``runtime`` and ``config``.
+
+    With ``suppress=True`` the flags have no defaults (``argparse.SUPPRESS``):
+    only flags the user actually typed land in the namespace, so ``config``
+    can apply them as *overrides* on top of a scenario file.
+    """
+
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
+    p.add_argument("--datasets", type=int, default=default(200), help="data sets per trial")
+    p.add_argument("--epsilon", type=int, default=default(2), help="fault-tolerance degree ε")
+    p.add_argument(
+        "--granularity", type=float, default=default(1.0), help="workload granularity"
     )
-    p.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
-    p.add_argument("--trials", type=int, default=20, help="number of Monte-Carlo trials")
-    p.add_argument("--jobs", type=int, default=1, help="worker processes for the trials")
-    p.add_argument("--datasets", type=int, default=200, help="data sets per trial")
-    p.add_argument("--epsilon", type=int, default=2, help="fault-tolerance degree ε")
-    p.add_argument("--granularity", type=float, default=1.0, help="workload granularity")
-    p.add_argument("--tasks", type=int, default=30, help="tasks per random workload")
-    p.add_argument("--processors", type=int, default=10, help="platform size")
+    p.add_argument("--tasks", type=int, default=default(30), help="tasks per random workload")
+    p.add_argument("--processors", type=int, default=default(10), help="platform size")
     p.add_argument(
         "--mttf",
         type=float,
-        default=500.0,
+        default=default(500.0),
         help="mean time to failure per processor, in stream periods",
     )
     p.add_argument(
         "--mttr",
-        type=float,
-        default=None,
-        help="mean time to repair, in stream periods (default: no repair)",
+        type=_mttr_value,
+        default=default(None),
+        help=(
+            "mean time to repair, in stream periods; 'none' = fail-stop "
+            "(default: no repair)"
+        ),
     )
     p.add_argument(
         "--distribution",
         choices=("exponential", "weibull"),
-        default="exponential",
+        default=default("exponential"),
         help="inter-failure time distribution",
     )
     p.add_argument(
-        "--weibull-shape", type=float, default=1.5, help="Weibull shape parameter"
+        "--weibull-shape", type=float, default=default(1.5), help="Weibull shape parameter"
     )
     from repro.runtime.admission import ADMISSION_POLICIES
     from repro.runtime.policies import RESCHEDULE_POLICIES
@@ -149,24 +184,25 @@ def _add_runtime_parser(sub) -> None:
     p.add_argument(
         "--policy",
         choices=RESCHEDULE_POLICIES.names,
-        default="rltf",
+        default=default("rltf"),
         help="online rescheduling policy",
     )
     p.add_argument(
         "--admission",
         choices=ADMISSION_POLICIES.names,
-        default="shed",
+        default=default("shed"),
         help="admission policy during downtime/throttling (shed drops, queue buffers)",
     )
     p.add_argument(
         "--queue-capacity",
         type=int,
-        default=64,
+        default=default(64),
         help="admission buffer size for --admission queue (0 = unbounded)",
     )
     p.add_argument(
         "--no-checkpoint",
         action="store_true",
+        default=default(False),
         help=(
             "disable checkpoint/restart: legacy flush-and-restart execution "
             "(in-flight data sets do not survive a rebuild)"
@@ -175,6 +211,7 @@ def _add_runtime_parser(sub) -> None:
     p.add_argument(
         "--rebuild-on-repair",
         action="store_true",
+        default=default(False),
         help=(
             "anticipatory rebuilds on repair events (only when a speculative "
             "reschedule shows the repaired processor improves the schedule)"
@@ -183,9 +220,49 @@ def _add_runtime_parser(sub) -> None:
     p.add_argument(
         "--rebuild-overhead",
         type=float,
-        default=1.0,
+        default=default(1.0),
         help="rebuild downtime, in stream periods",
     )
+
+
+#: argparse dest → (dotted spec path, value transform) for the spec flags.
+_FLAG_PATHS: dict[str, tuple[str, Callable]] = {
+    "datasets": ("runtime.num_datasets", lambda v: v),
+    "epsilon": ("scheduler.epsilon", lambda v: v),
+    "granularity": ("workload.granularity", lambda v: v),
+    "tasks": ("workload.num_tasks", lambda v: v),
+    "processors": ("workload.num_processors", lambda v: v),
+    "mttf": ("faults.mttf_periods", lambda v: v),
+    "mttr": ("faults.mttr_periods", lambda v: v),
+    "distribution": ("faults.distribution", lambda v: v),
+    "weibull_shape": ("faults.weibull_shape", lambda v: v),
+    "policy": ("runtime.policy", lambda v: v),
+    "admission": ("runtime.admission", lambda v: v),
+    "queue_capacity": ("runtime.queue_capacity", lambda v: None if v == 0 else v),
+    "no_checkpoint": ("runtime.checkpoint", lambda v: not v),
+    "rebuild_on_repair": ("runtime.rebuild_on_repair", lambda v: v),
+    "rebuild_overhead": ("runtime.rebuild_overhead", lambda v: v),
+}
+
+
+def _flag_overrides(args: argparse.Namespace) -> dict:
+    """Dotted-path overrides for the spec flags present in *args*."""
+    return {
+        path: transform(getattr(args, dest))
+        for dest, (path, transform) in _FLAG_PATHS.items()
+        if hasattr(args, dest)
+    }
+
+
+def _add_runtime_parser(sub) -> None:
+    p = sub.add_parser(
+        "runtime",
+        help="Monte-Carlo campaign of the online runtime under stochastic failures",
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    p.add_argument("--trials", type=int, default=20, help="number of Monte-Carlo trials")
+    p.add_argument("--jobs", type=int, default=1, help="worker processes for the trials")
+    _add_spec_options(p)
     p.add_argument(
         "--sweep",
         action="store_true",
@@ -209,6 +286,61 @@ def _add_runtime_parser(sub) -> None:
     p.add_argument(
         "--no-plot", action="store_true", help="print only the tables, no ASCII plots"
     )
+
+
+def _add_run_parser(sub) -> None:
+    p = sub.add_parser(
+        "run",
+        help="run a declarative scenario JSON file through the Session facade",
+    )
+    p.add_argument("scenario", help="path to a scenario JSON file")
+    p.add_argument(
+        "--mode",
+        choices=("schedule", "simulate", "online", "monte-carlo"),
+        default="online",
+        help="which front end to drive (default: one online run)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="run/campaign seed (default 0)")
+    p.add_argument(
+        "--trials", type=int, default=20, help="trials for --mode monte-carlo"
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for --mode monte-carlo"
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "shrink the scenario (few data sets, 2 trials) and exercise all "
+            "four modes once — the CI configuration smoke test"
+        ),
+    )
+
+
+def _add_config_parser(sub) -> None:
+    p = sub.add_parser(
+        "config",
+        help="build, validate and emit declarative scenario specs",
+    )
+    p.add_argument(
+        "--scenario",
+        default=None,
+        help=(
+            "start from this scenario JSON file (validated); any spec flags "
+            "given alongside are applied as overrides on top of it"
+        ),
+    )
+    p.add_argument(
+        "--name",
+        default=argparse.SUPPRESS,
+        help="name recorded in the emitted spec",
+    )
+    p.add_argument(
+        "--emit",
+        action="store_true",
+        help="print the resolved spec as JSON (pipe into a scenario file)",
+    )
+    _add_spec_options(p, suppress=True)
 
 
 def _config(args: argparse.Namespace):
@@ -237,32 +369,38 @@ def _parse_grid(text: str, option: str) -> tuple:
     return tuple(values)
 
 
+def _scenario_from_flags(args: argparse.Namespace, name: str = "cli"):
+    """Parse the shared spec flags into a declarative ScenarioSpec."""
+    from repro.runtime.montecarlo import RuntimeTrialSpec
+
+    return RuntimeTrialSpec(
+        granularity=args.granularity,
+        num_tasks=args.tasks,
+        num_processors=args.processors,
+        epsilon=args.epsilon,
+        num_datasets=args.datasets,
+        mttf_periods=args.mttf,
+        distribution=args.distribution,
+        weibull_shape=args.weibull_shape,
+        mttr_periods=args.mttr,
+        policy=args.policy,
+        admission=args.admission,
+        queue_capacity=None if args.queue_capacity == 0 else args.queue_capacity,
+        checkpoint=not args.no_checkpoint,
+        rebuild_on_repair=args.rebuild_on_repair,
+        rebuild_overhead=args.rebuild_overhead,
+    ).to_scenario(name=name)
+
+
 def _run_runtime_command(args: argparse.Namespace) -> int:
+    from repro.api import Session
     from repro.exceptions import SchedulingError
-    from repro.experiments.parallel import run_runtime_campaign
     from repro.experiments.reporting import render_sweep
     from repro.experiments.sweep import run_runtime_sweep
-    from repro.runtime.montecarlo import RuntimeTrialSpec
     from repro.utils.ascii import format_table
 
     try:
-        spec = RuntimeTrialSpec(
-            granularity=args.granularity,
-            num_tasks=args.tasks,
-            num_processors=args.processors,
-            epsilon=args.epsilon,
-            num_datasets=args.datasets,
-            mttf_periods=args.mttf,
-            distribution=args.distribution,
-            weibull_shape=args.weibull_shape,
-            mttr_periods=args.mttr,
-            policy=args.policy,
-            admission=args.admission,
-            queue_capacity=None if args.queue_capacity == 0 else args.queue_capacity,
-            checkpoint=not args.no_checkpoint,
-            rebuild_on_repair=args.rebuild_on_repair,
-            rebuild_overhead=args.rebuild_overhead,
-        )
+        spec = _scenario_from_flags(args, name="runtime-cli")
         if args.sweep:
             sweep = run_runtime_sweep(
                 spec,
@@ -275,19 +413,97 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
             )
             print(render_sweep(sweep, plot=not args.no_plot))
             return 0
-        result = run_runtime_campaign(
-            spec, trials=args.trials, seed=args.seed, jobs=args.jobs
+        result = Session(spec).monte_carlo(
+            trials=args.trials, seed=args.seed, jobs=args.jobs
         )
     except (ValueError, SchedulingError) as exc:
         print(f"repro-streaming runtime: error: {exc}", file=sys.stderr)
         return 2
-    stats = result.stats
     title = (
         f"Online runtime campaign — {args.trials} trials, seed {args.seed}, "
         f"policy {args.policy}, admission {args.admission}, mttf {args.mttf:g}Δ"
         + ("" if args.mttr is None else f", mttr {args.mttr:g}Δ")
     )
-    print(format_table(["statistic", "value"], stats.as_rows(), title=title))
+    print(format_table(["statistic", "value"], result.as_rows(), title=title))
+    return 0
+
+
+def _print_result(result, title: str) -> None:
+    from repro.utils.ascii import format_table
+
+    print(format_table(["metric", "value"], result.as_rows(), title=title))
+
+
+def _run_run_command(args: argparse.Namespace) -> int:
+    from repro.api import Session
+    from repro.exceptions import SchedulingError
+
+    try:
+        session = Session.from_file(args.scenario)
+    except OSError as exc:
+        print(f"repro-streaming run: error: cannot read scenario: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro-streaming run: error: {exc}", file=sys.stderr)
+        return 2
+
+    spec = session.spec
+    print(spec.describe())
+    try:
+        if args.smoke:
+            # Tiny pass through every front end: the configuration path is
+            # exercised end to end without the full Monte-Carlo cost.
+            small = spec.updated(
+                {"runtime.num_datasets": min(spec.runtime.num_datasets, 25)}
+            )
+            session = Session(small)
+            _print_result(session.schedule(args.seed), "schedule")
+            _print_result(session.simulate(seed=args.seed), "simulate")
+            _print_result(session.run_online(args.seed), "online run")
+            _print_result(
+                session.monte_carlo(trials=2, seed=args.seed, jobs=1),
+                "monte-carlo (2 trials)",
+            )
+            return 0
+        if args.mode == "schedule":
+            result = session.schedule(args.seed)
+        elif args.mode == "simulate":
+            result = session.simulate(seed=args.seed)
+        elif args.mode == "online":
+            result = session.run_online(args.seed)
+        else:
+            result = session.monte_carlo(
+                trials=args.trials, seed=args.seed, jobs=args.jobs
+            )
+    except (ValueError, SchedulingError) as exc:
+        print(f"repro-streaming run: error: {exc}", file=sys.stderr)
+        return 2
+    _print_result(result, f"{spec.name} — {args.mode} (seed {args.seed})")
+    return 0
+
+
+def _run_config_command(args: argparse.Namespace) -> int:
+    from repro.scenario.spec import ScenarioSpec
+
+    try:
+        if args.scenario is not None:
+            base = ScenarioSpec.from_file(args.scenario)
+        else:
+            base = ScenarioSpec()
+        changes = _flag_overrides(args)
+        if hasattr(args, "name"):
+            changes["name"] = args.name
+        spec = base.updated(changes)
+    except OSError as exc:
+        print(f"repro-streaming config: error: cannot read scenario: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro-streaming config: error: {exc}", file=sys.stderr)
+        return 2
+    if args.emit:
+        print(spec.to_json())
+    else:
+        print(f"scenario OK: {spec.describe()}")
     return 0
 
 
@@ -304,6 +520,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if command == "runtime":
         return _run_runtime_command(args)
+    if command == "run":
+        return _run_run_command(args)
+    if command == "config":
+        return _run_config_command(args)
 
     config = _config(args)
     jobs = getattr(args, "jobs", 1)

@@ -21,6 +21,7 @@ __all__ = [
     "ReplicationError",
     "ValidationError",
     "ExperimentError",
+    "SpecificationError",
 ]
 
 
@@ -82,3 +83,13 @@ class ValidationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for inconsistent configurations."""
+
+
+class SpecificationError(ReproError, ValueError):
+    """Raised by :mod:`repro.scenario` for malformed scenario specifications.
+
+    Derives from :class:`ValueError` so that callers validating user input
+    (the CLI, config loaders) can keep a single ``except ValueError`` clause;
+    the message always says *which* key or value is wrong and, for name
+    lookups, suggests close matches.
+    """

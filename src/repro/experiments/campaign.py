@@ -32,10 +32,11 @@ import numpy as np
 from repro.core.fault_free import fault_free_schedule
 from repro.core.ltf import ltf_schedule
 from repro.core.rltf import rltf_schedule
-from repro.exceptions import SchedulingError
+from repro.exceptions import SchedulingError, SpecificationError
 from repro.experiments.config import ExperimentConfig, workload_period
 from repro.failures.evaluation import expected_crash_latency
 from repro.graph.generator import random_paper_workload
+from repro.scenario.spec import ScenarioSpec, SchedulerSpec, WorkloadSpec
 from repro.schedule.metrics import latency_upper_bound
 from repro.schedule.schedule import Schedule
 from repro.utils.rng import derive_seed, ensure_rng
@@ -45,6 +46,7 @@ __all__ = [
     "CampaignResult",
     "point_seed",
     "instance_seeds",
+    "scenario_for_point",
     "run_graph_instance",
     "run_point",
     "run_campaign",
@@ -76,6 +78,41 @@ def instance_seeds(
     rng = ensure_rng(point_seed(config, granularity, offset=31 * epsilon))
     return [derive_seed(rng) for _ in range(config.num_graphs)]
 
+
+def scenario_for_point(
+    config: ExperimentConfig, granularity: float, epsilon: int
+) -> ScenarioSpec:
+    """The declarative :class:`~repro.scenario.spec.ScenarioSpec` of one point.
+
+    The spec captures the point's scenario *family* — the workload
+    distribution (granularity, task range, platform size) and the scheduling
+    constraints (ε, period slack, strict resilience), with R-LTF as the
+    representative heuristic of the paper's campaign (the point's metrics
+    also cover LTF).  Replaying it (``spec.to_json()`` →
+    ``repro-streaming run``) draws a *fresh* instance from the same family;
+    the campaign's own instances are reproduced by
+    :func:`run_graph_instance` with :func:`instance_seeds`, not by the spec.
+    """
+    options = {}
+    if config.strict_resilience:
+        options["strict_resilience"] = True
+    return ScenarioSpec(
+        name=f"campaign-g{granularity:g}-eps{epsilon}",
+        workload=WorkloadSpec(
+            generator="paper",
+            granularity=granularity,
+            num_tasks=None,
+            num_processors=config.num_processors,
+            task_range=config.task_range,
+        ),
+        scheduler=SchedulerSpec(
+            name="rltf",
+            epsilon=epsilon,
+            period_slack=config.period_slack,
+            options=options,
+        ),
+    )
+
 #: the two heuristics of the paper, keyed by their display name.
 ALGORITHMS: dict[str, Callable[..., Schedule]] = {
     "LTF": ltf_schedule,
@@ -95,6 +132,8 @@ class PointResult:
     #: algorithm -> number of instances it failed to schedule.
     failures: dict[str, int] = field(default_factory=dict)
     instances: int = 0
+    #: the declarative spec of the point (see :func:`scenario_for_point`).
+    spec: ScenarioSpec | None = None
 
     def metric(self, name: str) -> float:
         """Mean value of a metric (NaN when no instance succeeded)."""
@@ -199,12 +238,14 @@ def _reduce_point(
     epsilon: int,
     config: ExperimentConfig,
     instance_results: list[tuple[dict[str, list[float]], dict[str, int]]],
+    algorithms: Mapping[str, Callable[..., Schedule]] | None = None,
 ) -> PointResult:
     """Aggregate per-instance contributions into one :class:`PointResult`.
 
     Values are concatenated in instance order before averaging, so the
     reduction is independent of how the instances were scheduled across
-    workers.
+    workers.  Points evaluated with custom *algorithms* carry ``spec=None``
+    (an algorithm mapping is not expressible as a pure-data spec).
     """
     accum: dict[str, list[float]] = {}
     failures: dict[str, int] = {}
@@ -221,7 +262,29 @@ def _reduce_point(
         metrics=metrics,
         failures=failures,
         instances=config.num_graphs,
+        spec=_point_spec_or_none(config, granularity, epsilon, algorithms),
     )
+
+
+def _point_spec_or_none(
+    config: ExperimentConfig,
+    granularity: float,
+    epsilon: int,
+    algorithms: Mapping[str, Callable[..., Schedule]] | None,
+) -> ScenarioSpec | None:
+    """The point's family spec, or ``None`` when it isn't expressible.
+
+    Custom algorithm mappings have no pure-data form, and degenerate
+    configurations (e.g. ε ≥ platform size, which the campaign itself records
+    as per-instance scheduling failures) must not turn the *reduction* into a
+    validation error after all the instance work has already run.
+    """
+    if algorithms is not None:
+        return None
+    try:
+        return scenario_for_point(config, granularity, epsilon)
+    except SpecificationError:
+        return None
 
 
 def run_point(
@@ -245,7 +308,7 @@ def run_point(
         items,
         jobs=jobs,
     )
-    return _reduce_point(granularity, epsilon, config, results)
+    return _reduce_point(granularity, epsilon, config, results, algorithms)
 
 
 def run_campaign(
@@ -277,6 +340,8 @@ def run_campaign(
     n = config.num_graphs
     for k, granularity in enumerate(config.granularities):
         points.append(
-            _reduce_point(granularity, epsilon, config, results[k * n : (k + 1) * n])
+            _reduce_point(
+                granularity, epsilon, config, results[k * n : (k + 1) * n], algorithms
+            )
         )
     return CampaignResult(epsilon=epsilon, points=points)

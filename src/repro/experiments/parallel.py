@@ -15,13 +15,15 @@ their arguments — both :func:`repro.runtime.montecarlo.run_trial` and
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, Sequence, TypeVar, Union
 
 from repro.runtime.montecarlo import RuntimeTrialSpec, run_trial
 from repro.runtime.trace import RuntimeStats, RuntimeTrace, summarize_traces
+from repro.scenario.spec import ScenarioSpec
 from repro.utils.rng import derive_seed, ensure_rng
 
 __all__ = ["parallel_map", "RuntimeCampaignResult", "run_runtime_campaign"]
@@ -50,7 +52,7 @@ def parallel_map(
 class RuntimeCampaignResult:
     """Outcome of a Monte-Carlo campaign of online-runtime trials."""
 
-    spec: RuntimeTrialSpec
+    spec: Union[ScenarioSpec, RuntimeTrialSpec]
     seed: int
     trial_seeds: tuple[int, ...]
     traces: tuple[RuntimeTrace, ...]
@@ -66,19 +68,31 @@ class RuntimeCampaignResult:
 
 
 def run_runtime_campaign(
-    spec: RuntimeTrialSpec,
+    spec: Union[ScenarioSpec, RuntimeTrialSpec],
     trials: int = 20,
     seed: int = 0,
     jobs: int | None = 1,
 ) -> RuntimeCampaignResult:
     """Run *trials* independent online-runtime trials, *jobs* at a time.
 
-    The child seeds are drawn up-front from *seed*, so the campaign result is
-    identical for any value of *jobs* and any machine; two campaigns with the
-    same ``(spec, trials, seed)`` produce equal traces.
+    *spec* is a declarative :class:`~repro.scenario.spec.ScenarioSpec` (or,
+    deprecated, a legacy flat :class:`~repro.runtime.montecarlo.
+    RuntimeTrialSpec` — both run the same scenario path and produce identical
+    traces).  The child seeds are drawn up-front from *seed*, so the campaign
+    result is identical for any value of *jobs* and any machine; two
+    campaigns with the same ``(spec, trials, seed)`` produce equal traces.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    if isinstance(spec, RuntimeTrialSpec):
+        warnings.warn(
+            "passing a RuntimeTrialSpec to run_runtime_campaign is deprecated; "
+            "build a ScenarioSpec (see RuntimeTrialSpec.to_scenario) — the "
+            "signature will require one in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = spec.to_scenario()
     rng = ensure_rng(seed)
     trial_seeds = tuple(derive_seed(rng) for _ in range(trials))
     traces = parallel_map(partial(run_trial, spec), trial_seeds, jobs=jobs)

@@ -38,7 +38,7 @@ def render_sweep(result: "RuntimeSweepResult", plot: bool = True) -> str:
     """Render every panel of a runtime failure-regime sweep (one per metric)."""
     header = (
         f"Online runtime sweep — {result.trials} trials/point, seed {result.seed}, "
-        f"policy {result.spec.policy}, admission {result.spec.admission}, "
+        f"policy {result.spec.runtime.policy}, admission {result.spec.runtime.admission}, "
         f"mttf grid {[f'{m:g}' for m in result.mttf_grid]}"
     )
     panels = [render_series(figure, plot=plot) for figure in result.figures()]

@@ -7,11 +7,15 @@ and aggregates the results into figure-style panels
 :mod:`repro.experiments.reporting`.  This is the ``repro-streaming runtime
 --sweep`` command.
 
-Each grid point runs its own :func:`~repro.experiments.parallel.
-run_runtime_campaign` with a child seed derived *up front* in grid order, so
-the sweep is deterministic and bit-for-bit identical for any ``--jobs`` value
-(the points are fanned across processes, each campaign running serially
-inside its worker).
+Since the declarative-scenario redesign the grid is literally a
+:meth:`ScenarioSpec.grid <repro.scenario.spec.ScenarioSpec.grid>` product:
+every point *is* a self-contained, picklable
+:class:`~repro.scenario.spec.ScenarioSpec`, which is what lets the points
+shard cleanly across processes.  Each grid point runs its own
+:func:`~repro.experiments.parallel.run_runtime_campaign` with a child seed
+derived *up front* in grid order, so the sweep is deterministic and
+bit-for-bit identical for any ``--jobs`` value (the points are fanned across
+processes, each campaign running serially inside its worker).
 
 The Weibull shape axis stresses the failure-arrival law itself: ``shape < 1``
 gives infant-mortality bursts, ``shape = 1`` is the exponential (memoryless)
@@ -20,12 +24,15 @@ case of the paper, ``shape > 1`` models wear-out.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import partial
+from typing import Union
 
 from repro.experiments.figures import FigureSeries
 from repro.runtime.montecarlo import RuntimeTrialSpec
 from repro.runtime.trace import RuntimeStats
+from repro.scenario.spec import ScenarioSpec
 from repro.utils.rng import derive_seed, ensure_rng
 
 __all__ = ["SweepPoint", "RuntimeSweepResult", "run_runtime_sweep", "SWEEP_METRICS"]
@@ -37,6 +44,13 @@ SWEEP_METRICS: dict[str, str] = {
     "rebuilds per trial": "mean_rebuilds",
     "mean latency": "mean_latency",
 }
+
+#: the dotted spec axes swept by :func:`run_runtime_sweep`, in grid order.
+SWEEP_AXES = (
+    "faults.mttf_periods",
+    "faults.mttr_periods",
+    "faults.weibull_shape",
+)
 
 
 @dataclass(frozen=True)
@@ -60,7 +74,7 @@ class SweepPoint:
 class RuntimeSweepResult:
     """All grid points of one sweep, in grid order."""
 
-    spec: RuntimeTrialSpec
+    spec: ScenarioSpec
     seed: int
     trials: int
     mttf_grid: tuple[float, ...]
@@ -83,8 +97,8 @@ class RuntimeSweepResult:
             series={label: tuple(vals) for label, vals in series.items()},
             description=(
                 f"Online runtime {metric} vs mttf "
-                f"({self.trials} trials/point, policy {self.spec.policy}, "
-                f"admission {self.spec.admission})"
+                f"({self.trials} trials/point, policy {self.spec.runtime.policy}, "
+                f"admission {self.spec.runtime.admission})"
             ),
         )
 
@@ -94,28 +108,25 @@ class RuntimeSweepResult:
 
 
 def _run_sweep_point(
-    item: tuple[float, float | None, float, int],
-    spec: RuntimeTrialSpec,
+    item: tuple[ScenarioSpec, int],
     trials: int,
 ) -> SweepPoint:
     """Run the Monte-Carlo campaign of one grid point (one process each)."""
     from repro.experiments.parallel import run_runtime_campaign
 
-    mttf, mttr, shape, seed = item
-    point_spec = spec.with_overrides(
-        mttf_periods=mttf,
-        mttr_periods=mttr,
-        distribution="weibull",
-        weibull_shape=shape,
-    )
+    point_spec, seed = item
     result = run_runtime_campaign(point_spec, trials=trials, seed=seed, jobs=1)
     return SweepPoint(
-        mttf_periods=mttf, mttr_periods=mttr, shape=shape, seed=seed, stats=result.stats
+        mttf_periods=point_spec.faults.mttf_periods,
+        mttr_periods=point_spec.faults.mttr_periods,
+        shape=point_spec.faults.weibull_shape,
+        seed=seed,
+        stats=result.stats,
     )
 
 
 def run_runtime_sweep(
-    spec: RuntimeTrialSpec,
+    spec: Union[ScenarioSpec, RuntimeTrialSpec],
     mttf_grid: tuple[float, ...] = (50.0, 100.0, 200.0, 400.0),
     mttr_grid: tuple[float | None, ...] = (None, 25.0),
     shapes: tuple[float, ...] = (0.7, 1.0, 1.5),
@@ -125,8 +136,10 @@ def run_runtime_sweep(
 ) -> RuntimeSweepResult:
     """Sweep the failure-regime grid; deterministic for any *jobs* value.
 
-    The grid is ordered mttf-major → mttr → shape; every point's campaign
-    seed is derived from *seed* in that order before any work is dispatched.
+    The grid is the :meth:`ScenarioSpec.grid <repro.scenario.spec.
+    ScenarioSpec.grid>` product over :data:`SWEEP_AXES` — ordered mttf-major →
+    mttr → shape; every point's campaign seed is derived from *seed* in that
+    order before any work is dispatched.
     """
     if not mttf_grid or not shapes:
         raise ValueError("mttf_grid and shapes must be non-empty")
@@ -134,18 +147,24 @@ def run_runtime_sweep(
         raise ValueError("mttf_grid and shapes must be numeric (only mttr may be none)")
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    if isinstance(spec, RuntimeTrialSpec):
+        warnings.warn(
+            "passing a RuntimeTrialSpec to run_runtime_sweep is deprecated; "
+            "build a ScenarioSpec (see RuntimeTrialSpec.to_scenario) — the "
+            "signature will require one in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = spec.to_scenario()
     from repro.experiments.parallel import parallel_map
 
-    rng = ensure_rng(seed)
-    items = [
-        (mttf, mttr, shape, derive_seed(rng))
-        for mttf in mttf_grid
-        for mttr in mttr_grid
-        for shape in shapes
-    ]
-    points = parallel_map(
-        partial(_run_sweep_point, spec=spec, trials=trials), items, jobs=jobs
+    base = spec.updated({"faults.distribution": "weibull"})
+    point_specs = base.grid(
+        dict(zip(SWEEP_AXES, (tuple(mttf_grid), tuple(mttr_grid), tuple(shapes))))
     )
+    rng = ensure_rng(seed)
+    items = [(point, derive_seed(rng)) for point in point_specs]
+    points = parallel_map(partial(_run_sweep_point, trials=trials), items, jobs=jobs)
     return RuntimeSweepResult(
         spec=spec,
         seed=seed,

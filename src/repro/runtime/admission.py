@@ -165,7 +165,7 @@ class QueueAdmissionPolicy:
 
 
 #: registry of admission policies: name -> zero-argument factory.
-ADMISSION_POLICIES = PolicyRegistry("admission")
+ADMISSION_POLICIES = PolicyRegistry("admission policy")
 ADMISSION_POLICIES.register(ShedAdmissionPolicy)
 ADMISSION_POLICIES.register(QueueAdmissionPolicy)
 

@@ -5,34 +5,44 @@ campaign engine (:mod:`repro.experiments.parallel`) fans trials out across
 processes and the result must not depend on how many workers ran them.  Each
 trial derives two child seeds from its own seed (workload, fault trace), so
 trials are mutually independent and individually reproducible.
+
+Since the declarative-scenario redesign the canonical execution path lives in
+:func:`repro.scenario.run.run_scenario_online`; :class:`RuntimeTrialSpec` is
+kept as a thin, backward-compatible alias that converts to a
+:class:`~repro.scenario.spec.ScenarioSpec` (:meth:`RuntimeTrialSpec.
+to_scenario`), and :func:`run_trial` accepts either spec type.  Traces are
+bit-for-bit identical to the pre-redesign direct path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Union
 
-from repro.core.ltf import ltf_schedule
-from repro.core.rltf import rltf_schedule
-from repro.exceptions import SchedulingError
-from repro.failures.scenarios import FAULT_DISTRIBUTIONS, sample_fault_trace
-from repro.graph.generator import random_paper_workload
-from repro.runtime.admission import ADMISSION_POLICIES, QueueAdmissionPolicy
-from repro.runtime.engine import OnlineRuntime
+from repro.failures.scenarios import FAULT_DISTRIBUTIONS
+from repro.runtime.admission import ADMISSION_POLICIES
 from repro.runtime.policies import RESCHEDULE_POLICIES
 from repro.runtime.trace import RuntimeTrace
 from repro.utils.checks import check_positive
-from repro.utils.rng import derive_seed, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.scenario.spec import ScenarioSpec
 
 __all__ = ["RuntimeTrialSpec", "run_trial"]
 
 
 @dataclass(frozen=True)
 class RuntimeTrialSpec:
-    """Parameters of one online-runtime Monte-Carlo trial.
+    """Parameters of one online-runtime Monte-Carlo trial (legacy flat form).
 
     Times are expressed in multiples of the schedule period ``Δ`` so that a
     spec is meaningful across workloads: ``mttf_periods=60`` means a processor
     fails on average after 60 stream iterations.
+
+    This is the historical flat spec, kept for backward compatibility
+    (including positional construction).  New code should build a
+    :class:`~repro.scenario.spec.ScenarioSpec` — :meth:`to_scenario` is the
+    exact mapping between the two.
     """
 
     granularity: float = 1.0
@@ -75,14 +85,9 @@ class RuntimeTrialSpec:
                 f"got {self.distribution!r}"
             )
         if self.policy not in RESCHEDULE_POLICIES:
-            raise ValueError(
-                f"policy must be one of {RESCHEDULE_POLICIES.names}, got {self.policy!r}"
-            )
+            raise ValueError(RESCHEDULE_POLICIES.describe_unknown(self.policy))
         if self.admission not in ADMISSION_POLICIES:
-            raise ValueError(
-                f"admission must be one of {ADMISSION_POLICIES.names}, "
-                f"got {self.admission!r}"
-            )
+            raise ValueError(ADMISSION_POLICIES.describe_unknown(self.admission))
         if self.queue_capacity is not None and self.queue_capacity < 1:
             raise ValueError(
                 f"queue_capacity must be >= 1 or None, got {self.queue_capacity}"
@@ -96,69 +101,68 @@ class RuntimeTrialSpec:
         """A copy of the spec with some fields replaced."""
         return replace(self, **kwargs)
 
+    def to_scenario(self, name: str = "runtime-trial") -> "ScenarioSpec":
+        """The equivalent declarative :class:`~repro.scenario.spec.ScenarioSpec`.
 
-def run_trial(spec: RuntimeTrialSpec, seed: int) -> RuntimeTrace:
-    """Run one seeded trial: workload → schedule → fault trace → online run.
-
-    Deterministic: the trace only depends on ``(spec, seed)``.  If neither
-    R-LTF nor LTF can schedule the generated workload the trial degrades to
-    ``epsilon=0`` (the online rebuild machinery still exercises the failures).
-    """
-    # Imported lazily: repro.experiments.parallel imports this module, so a
-    # top-level import of repro.experiments.config would close a cycle through
-    # the repro.experiments package __init__.
-    from repro.experiments.config import ExperimentConfig, workload_period
-
-    rng = ensure_rng(seed)
-    workload_seed = derive_seed(rng)
-    fault_seed = derive_seed(rng)
-
-    workload = random_paper_workload(
-        spec.granularity,
-        seed=workload_seed,
-        num_tasks=spec.num_tasks,
-        num_processors=spec.num_processors,
-    )
-    config = ExperimentConfig(period_slack=spec.period_slack)
-    period = workload_period(workload, spec.epsilon, config)
-    schedule = None
-    for epsilon in dict.fromkeys((spec.epsilon, max(0, spec.epsilon - 1), 0)):
-        for scheduler in (rltf_schedule, ltf_schedule):
-            try:
-                schedule = scheduler(
-                    workload.graph, workload.platform, period=period, epsilon=epsilon
-                )
-                break
-            except SchedulingError:
-                continue
-        if schedule is not None:
-            break
-    if schedule is None:
-        raise SchedulingError(
-            f"no schedule found for trial seed {seed} (granularity {spec.granularity})"
+        The mapping is exact: running the returned scenario produces a trace
+        bit-for-bit identical to running this trial spec on the same seed.
+        """
+        # Imported lazily: repro.runtime.__init__ loads this module, so a
+        # top-level import of repro.scenario (which imports the runtime
+        # package for its policy registries) would close a cycle.
+        from repro.scenario.spec import (
+            FaultSpec,
+            RuntimeSpec,
+            ScenarioSpec,
+            SchedulerSpec,
+            WorkloadSpec,
         )
 
-    fault_trace = sample_fault_trace(
-        workload.platform,
-        horizon=spec.num_datasets * schedule.period,
-        mttf=spec.mttf_periods * schedule.period,
-        distribution=spec.distribution,
-        shape=spec.weibull_shape,
-        mttr=None
-        if spec.mttr_periods is None
-        else spec.mttr_periods * schedule.period,
-        seed=fault_seed,
-    )
-    admission = spec.admission
-    if admission == "queue":
-        admission = QueueAdmissionPolicy(capacity=spec.queue_capacity)
-    runtime = OnlineRuntime(
-        schedule,
-        fault_trace,
-        policy=spec.policy,
-        rebuild_overhead=spec.rebuild_overhead,
-        rebuild_on_repair=spec.rebuild_on_repair,
-        admission=admission,
-        checkpoint=spec.checkpoint,
-    )
-    return runtime.run(spec.num_datasets)
+        return ScenarioSpec(
+            name=name,
+            workload=WorkloadSpec(
+                generator="paper",
+                granularity=self.granularity,
+                num_tasks=self.num_tasks,
+                num_processors=self.num_processors,
+            ),
+            scheduler=SchedulerSpec(
+                name="rltf",
+                epsilon=self.epsilon,
+                period_slack=self.period_slack,
+                fallback=True,
+            ),
+            faults=FaultSpec(
+                mttf_periods=self.mttf_periods,
+                mttr_periods=self.mttr_periods,
+                distribution=self.distribution,
+                weibull_shape=self.weibull_shape,
+            ),
+            runtime=RuntimeSpec(
+                num_datasets=self.num_datasets,
+                policy=self.policy,
+                admission=self.admission,
+                queue_capacity=self.queue_capacity,
+                checkpoint=self.checkpoint,
+                rebuild_on_repair=self.rebuild_on_repair,
+                rebuild_overhead=self.rebuild_overhead,
+            ),
+        )
+
+
+def run_trial(
+    spec: Union[RuntimeTrialSpec, "ScenarioSpec"], seed: int
+) -> RuntimeTrace:
+    """Run one seeded trial: workload → schedule → fault trace → online run.
+
+    Deterministic: the trace only depends on ``(spec, seed)``.  Accepts
+    either a legacy :class:`RuntimeTrialSpec` or a declarative
+    :class:`~repro.scenario.spec.ScenarioSpec`; both run through
+    :func:`repro.scenario.run.run_scenario_online`, the single execution
+    path shared with the :class:`~repro.api.Session` facade.
+    """
+    from repro.scenario.run import run_scenario_online
+    from repro.scenario.spec import ScenarioSpec
+
+    scenario = spec if isinstance(spec, ScenarioSpec) else spec.to_scenario()
+    return run_scenario_online(scenario, seed)

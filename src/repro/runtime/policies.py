@@ -159,7 +159,7 @@ class RLTFReschedulePolicy:
 
 
 #: registry of rescheduling policies: name -> zero-argument factory.
-RESCHEDULE_POLICIES = PolicyRegistry("rescheduling")
+RESCHEDULE_POLICIES = PolicyRegistry("rescheduling policy")
 RESCHEDULE_POLICIES.register(RLTFReschedulePolicy)
 RESCHEDULE_POLICIES.register(RemapReschedulePolicy)
 

@@ -1,0 +1,85 @@
+"""Grid expansion: axis dicts → lists of scenario specs.
+
+The sweep layers explore cartesian products of scenario axes (mttf × mttr ×
+Weibull shape, granularity × ε, policy × admission, …).  Here an *axis* is a
+dotted path into the spec tree (``"faults.mttf_periods"``) mapped to a
+sequence of values, and :func:`expand_grid` turns a base spec plus an axis
+dict into the product list of fully-validated specs — the first axis is the
+major (slowest-varying) one, matching the historical grid order of
+:func:`repro.experiments.sweep.run_runtime_sweep`.
+
+Because every point is a self-contained :class:`~repro.scenario.spec.
+ScenarioSpec`, the expansion shards trivially across processes: a worker
+receives one picklable spec, not a bag of loose keyword arguments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import fields, replace
+from typing import Mapping, Sequence
+
+from repro.exceptions import SpecificationError
+from repro.scenario.spec import SECTION_TYPES, ScenarioSpec, _spec_paths
+
+__all__ = ["apply_changes", "expand_grid"]
+
+
+def _reject_path(path: str) -> None:
+    from repro.utils.registry import close_matches_hint
+
+    raise SpecificationError(
+        f"unknown scenario path {path!r} (paths are 'section.field' like "
+        f"'faults.mttf_periods'){close_matches_hint(path, _spec_paths())}"
+    )
+
+
+def apply_changes(spec: ScenarioSpec, changes: Mapping[str, object]) -> ScenarioSpec:
+    """Apply dotted-path overrides to *spec*, revalidating the result.
+
+    All changes of one section land in a single ``replace`` call, so a set of
+    overrides that is only consistent *together* (e.g. switching to an ε-less
+    scheduler while zeroing ε) validates as a whole, never through an
+    invalid intermediate state.
+    """
+    per_section: dict[str, dict[str, object]] = {}
+    top: dict[str, object] = {}
+    for path, value in changes.items():
+        if path == "name":
+            top["name"] = value
+            continue
+        section, _, leaf = path.partition(".")
+        if section in SECTION_TYPES and leaf in {
+            f.name for f in fields(SECTION_TYPES[section])
+        }:
+            per_section.setdefault(section, {})[leaf] = value
+        else:
+            _reject_path(path)
+    for section, leaves in per_section.items():
+        top[section] = replace(getattr(spec, section), **leaves)
+    return replace(spec, **top) if top else spec
+
+
+def expand_grid(
+    base: ScenarioSpec, axes: Mapping[str, Sequence]
+) -> list[ScenarioSpec]:
+    """The cartesian product of *axes* applied to *base*, first axis major.
+
+    Every axis must be a non-empty sequence of values; the result enumerates
+    the product with the last axis varying fastest (``itertools.product``
+    order), so ``{"a": [1, 2], "b": [x, y]}`` yields ``1x, 1y, 2x, 2y``.
+    """
+    paths = list(axes)
+    for path in paths:
+        values = axes[path]
+        if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+            raise SpecificationError(
+                f"grid axis {path!r} must be a sequence of values, "
+                f"got {type(values).__name__}"
+            )
+        if len(values) == 0:
+            raise SpecificationError(f"grid axis {path!r} is empty")
+    specs = []
+    for combo in itertools.product(*(axes[p] for p in paths)):
+        specs.append(apply_changes(base, dict(zip(paths, combo))))
+    return specs

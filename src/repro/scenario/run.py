@@ -1,0 +1,211 @@
+"""The canonical spec → execution pipeline.
+
+One module owns the path from a pure-data :class:`~repro.scenario.spec.
+ScenarioSpec` to live objects — workload, schedule, fault trace, online trace
+— so that every front end (the :class:`~repro.api.Session` facade, the
+Monte-Carlo trial worker, the sweep grid points, the CLI) runs scenarios
+through *exactly* the same code.  :func:`run_scenario_online` is the pure,
+picklable unit of Monte-Carlo work: the returned trace depends only on
+``(spec, seed)``, never on the process that ran it.
+
+Seed derivation (unchanged from the historical trial path, so traces are
+bit-for-bit identical to the pre-redesign direct calls): the run seed derives
+two child seeds in order — workload, fault trace — which
+``workload.seed`` / ``faults.seed`` individually override when pinned in the
+spec.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SchedulingError, SpecificationError
+from repro.failures.scenarios import FaultTrace, sample_fault_trace
+from repro.graph.generator import PaperWorkload
+from repro.runtime.admission import QueueAdmissionPolicy
+from repro.runtime.engine import OnlineRuntime
+from repro.runtime.trace import RuntimeTrace
+from repro.scenario.registries import SCHEDULERS, WORKLOAD_GENERATORS
+from repro.scenario.spec import FaultSpec, ScenarioSpec, SchedulerSpec, WorkloadSpec
+from repro.schedule.schedule import Schedule
+from repro.utils.rng import derive_seed, ensure_rng
+
+__all__ = [
+    "resolve_seeds",
+    "build_workload",
+    "resolve_period",
+    "build_schedule",
+    "build_fault_trace",
+    "execute_online",
+    "run_scenario_online",
+]
+
+
+def resolve_seeds(spec: ScenarioSpec, seed: int) -> tuple[int, int]:
+    """The ``(workload_seed, fault_seed)`` pair of one run of *spec*.
+
+    Both are derived from the run *seed* in a fixed order; a seed pinned in
+    the spec (``workload.seed`` / ``faults.seed``) overrides its derived
+    value without disturbing the other one.
+    """
+    rng = ensure_rng(seed)
+    workload_seed = derive_seed(rng)
+    fault_seed = derive_seed(rng)
+    if spec.workload.seed is not None:
+        workload_seed = spec.workload.seed
+    if spec.faults.seed is not None:
+        fault_seed = spec.faults.seed
+    return workload_seed, fault_seed
+
+
+def build_workload(spec: WorkloadSpec, seed) -> PaperWorkload:
+    """Materialize the workload of *spec* (generator resolved by name)."""
+    generator = WORKLOAD_GENERATORS.lookup(spec.generator)
+    try:
+        return generator(spec, seed)
+    except TypeError as exc:
+        if not spec.options:
+            raise  # a real defect in the generator, not a bad options dict
+        raise SpecificationError(
+            f"workload.options not accepted by generator {spec.generator!r}: {exc}"
+        ) from exc
+
+
+def _accepted_options(builder, options: dict) -> dict:
+    """The subset of *options* that *builder*'s signature accepts."""
+    import inspect
+
+    try:
+        accepted = inspect.signature(builder).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return options
+    return {k: v for k, v in options.items() if k in accepted}
+
+
+def resolve_period(workload: PaperWorkload, scheduler: SchedulerSpec) -> float:
+    """The iteration period Δ of the scenario: explicit, or slack-derived."""
+    if scheduler.period is not None:
+        return scheduler.period
+    # Imported lazily: the experiments package pulls in the campaign/figure
+    # stack, which must not load just because a spec was constructed.
+    from repro.experiments.config import ExperimentConfig, workload_period
+
+    config = ExperimentConfig(period_slack=scheduler.period_slack)
+    return workload_period(workload, scheduler.epsilon, config)
+
+
+def build_schedule(
+    workload: PaperWorkload, scheduler: SchedulerSpec, period: float | None = None
+) -> Schedule:
+    """Build the schedule of the scenario, degrading per the fallback rule.
+
+    With ``fallback=True`` the historical trial ladder applies: ε is tried at
+    the requested value, one below, then 0, and LTF is tried after the named
+    heuristic at each step — a scenario the heuristic cannot schedule
+    degrades instead of dying (the online rebuild machinery still exercises
+    the failures).  With ``fallback=False`` a single attempt is made.
+    """
+    if period is None:
+        period = resolve_period(workload, scheduler)
+    entry = SCHEDULERS.lookup(scheduler.name)
+    options = dict(scheduler.options)
+    if not entry.supports_epsilon:
+        return entry.build(workload.graph, workload.platform, period=period, **options)
+    if scheduler.fallback:
+        epsilons = dict.fromkeys((scheduler.epsilon, max(0, scheduler.epsilon - 1), 0))
+        builders = [entry.build]
+        if scheduler.name != "ltf":
+            builders.append(SCHEDULERS.lookup("ltf").build)
+    else:
+        epsilons = {scheduler.epsilon: None}
+        builders = [entry.build]
+    last_error: SchedulingError | None = None
+    for epsilon in epsilons:
+        for builder in builders:
+            try:
+                return builder(
+                    workload.graph,
+                    workload.platform,
+                    period=period,
+                    epsilon=epsilon,
+                    # heuristic-specific options (e.g. rltf's enable_rule1)
+                    # must not kill the *fallback* heuristic with a TypeError
+                    **(options if builder is entry.build
+                       else _accepted_options(builder, options)),
+                )
+            except SchedulingError as exc:
+                last_error = exc
+                continue
+    raise SchedulingError(
+        f"no schedule found for scenario (scheduler {scheduler.name!r}, "
+        f"epsilon {scheduler.epsilon}, period {period:g}): {last_error}"
+    )
+
+
+def build_fault_trace(
+    workload: PaperWorkload,
+    faults: FaultSpec,
+    schedule_period: float,
+    num_datasets: int,
+    seed,
+) -> FaultTrace:
+    """Sample the timed fault trace of the scenario over the stream horizon."""
+    return sample_fault_trace(
+        workload.platform,
+        horizon=num_datasets * schedule_period,
+        mttf=faults.mttf_periods * schedule_period,
+        distribution=faults.distribution,
+        shape=faults.weibull_shape,
+        mttr=None
+        if faults.mttr_periods is None
+        else faults.mttr_periods * schedule_period,
+        seed=seed,
+    )
+
+
+def execute_online(
+    spec: ScenarioSpec,
+    workload: PaperWorkload,
+    schedule: Schedule,
+    fault_seed,
+) -> RuntimeTrace:
+    """Run the online leg of *spec* on an already-built pipeline.
+
+    Split out of :func:`run_scenario_online` so callers holding a cached
+    ``(workload, schedule)`` pair (the Session facade builds one per seed)
+    don't pay the workload generation and scheduling ladder again.
+    """
+    fault_trace = build_fault_trace(
+        workload, spec.faults, schedule.period, spec.runtime.num_datasets, fault_seed
+    )
+    admission = spec.runtime.admission
+    if admission == "queue":
+        admission = QueueAdmissionPolicy(capacity=spec.runtime.queue_capacity)
+    runtime = OnlineRuntime(
+        schedule,
+        fault_trace,
+        policy=spec.runtime.policy,
+        rebuild_overhead=spec.runtime.rebuild_overhead,
+        rebuild_on_repair=spec.runtime.rebuild_on_repair,
+        admission=admission,
+        checkpoint=spec.runtime.checkpoint,
+    )
+    return runtime.run(spec.runtime.num_datasets)
+
+
+def run_scenario_online(spec: ScenarioSpec, seed: int = 0) -> RuntimeTrace:
+    """Run one seeded online trial of *spec*: workload → schedule → faults → run.
+
+    Deterministic: the trace only depends on ``(spec, seed)``.  This is the
+    unit of work fanned across processes by the Monte-Carlo campaign engine,
+    and the single execution path under ``Session.run_online``,
+    :func:`repro.runtime.montecarlo.run_trial` and the failure-regime sweeps.
+    """
+    workload_seed, fault_seed = resolve_seeds(spec, seed)
+    workload = build_workload(spec.workload, workload_seed)
+    period = resolve_period(workload, spec.scheduler)
+    try:
+        schedule = build_schedule(workload, spec.scheduler, period)
+    except SchedulingError as exc:
+        raise SchedulingError(
+            f"no schedule found for scenario {spec.name!r} seed {seed}: {exc}"
+        ) from None
+    return execute_online(spec, workload, schedule, fault_seed)

@@ -1,0 +1,115 @@
+"""Dict/JSON (de)serialization of scenario specs, with schema validation.
+
+The on-disk format is a nested JSON object with one key per spec section::
+
+    {
+      "name": "my-scenario",
+      "workload":  {"generator": "paper", "granularity": 1.0, ...},
+      "scheduler": {"name": "rltf", "epsilon": 2, ...},
+      "faults":    {"mttf_periods": 60.0, "mttr_periods": 30.0, ...},
+      "runtime":   {"admission": "queue", "queue_capacity": null, ...}
+    }
+
+Every section and every field is optional — omitted keys take the dataclass
+defaults — so a scenario file only says what it changes.  Unknown keys are
+rejected (not silently ignored) with close-match suggestions, and bad values
+surface the validating dataclass's message prefixed with the section, so a
+typo in a 200-line sweep config points at the exact line to fix.  The
+round-trip is exact: ``spec_from_dict(spec_to_dict(spec)) == spec``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Mapping
+
+from repro.exceptions import SpecificationError
+from repro.scenario.spec import SECTION_TYPES, ScenarioSpec
+from repro.utils.registry import close_matches_hint
+
+__all__ = ["spec_to_dict", "spec_from_dict", "section_from_dict"]
+
+#: schema version stamped into serialized specs (tolerated, never required).
+SCHEMA_VERSION = 1
+
+#: spec fields serialized as JSON arrays but stored as tuples.
+_TUPLE_FIELDS = frozenset({"task_range"})
+
+_TOP_LEVEL_KEYS = ("name", "schema", *SECTION_TYPES)
+
+
+def _suggest(key: str, allowed) -> str:
+    return (
+        f"unknown key {key!r}, expected one of {sorted(allowed)}"
+        f"{close_matches_hint(key, allowed)}"
+    )
+
+
+def _plain(value):
+    """Convert a spec field value to JSON-compatible types."""
+    if isinstance(value, tuple):
+        return list(value)
+    if isinstance(value, dict):
+        return dict(value)
+    return value
+
+
+def spec_to_dict(spec: ScenarioSpec) -> dict:
+    """Nested plain dict of *spec* — JSON types only, defaults included."""
+    out: dict = {"schema": SCHEMA_VERSION, "name": spec.name}
+    for section, cls in SECTION_TYPES.items():
+        value = getattr(spec, section)
+        out[section] = {f.name: _plain(getattr(value, f.name)) for f in fields(cls)}
+    return out
+
+
+def section_from_dict(section: str, data: Mapping):
+    """Build one spec section (e.g. ``"faults"``) from a mapping.
+
+    Validates the keys against the section's fields (with close-match
+    suggestions), converts JSON arrays back to tuples where needed, and
+    prefixes any value error with the section name.
+    """
+    cls = SECTION_TYPES[section]
+    if not isinstance(data, Mapping):
+        raise SpecificationError(
+            f"{section} section must be a JSON object, got {type(data).__name__}"
+        )
+    allowed = {f.name for f in fields(cls)}
+    kwargs = {}
+    for key, value in data.items():
+        if key not in allowed:
+            raise SpecificationError(f"in {section} section: {_suggest(key, allowed)}")
+        if key in _TUPLE_FIELDS and isinstance(value, list):
+            value = tuple(value)
+        kwargs[key] = value
+    try:
+        return cls(**kwargs)
+    except SpecificationError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SpecificationError(f"invalid {section} section: {exc}") from None
+
+
+def spec_from_dict(data: Mapping) -> ScenarioSpec:
+    """Build a :class:`ScenarioSpec` from a nested mapping, validating keys."""
+    if not isinstance(data, Mapping):
+        raise SpecificationError(
+            f"a scenario must be a JSON object, got {type(data).__name__}"
+        )
+    kwargs: dict = {}
+    for key, value in data.items():
+        if key not in _TOP_LEVEL_KEYS:
+            raise SpecificationError(_suggest(key, _TOP_LEVEL_KEYS))
+        if key == "schema":
+            if value not in (SCHEMA_VERSION,):
+                raise SpecificationError(
+                    f"unsupported scenario schema version {value!r} "
+                    f"(this library reads version {SCHEMA_VERSION})"
+                )
+            continue
+        if key == "name":
+            kwargs["name"] = value
+            continue
+        kwargs[key] = section_from_dict(key, value)
+    return ScenarioSpec(**kwargs)

@@ -1,37 +1,57 @@
-"""Name → factory registries for pluggable runtime policies.
+"""Name → factory registries for pluggable components.
 
-Both policy families of the online runtime — rescheduling
-(:mod:`repro.runtime.policies`) and admission
-(:mod:`repro.runtime.admission`) — are resolved *by name* from a
-:class:`PolicyRegistry`: the CLI builds its ``choices`` from the registry
-keys, the Monte-Carlo trial spec validates against it, and the experiment
-sweeps iterate it.  Registering a new policy in one place therefore makes it
-reachable from every layer (engine, CLI, campaigns) without further wiring.
+Every pluggable family of the library is resolved *by name* from a
+:class:`PolicyRegistry`: the rescheduling and admission policies of the online
+runtime (:mod:`repro.runtime.policies`, :mod:`repro.runtime.admission`), and —
+since the declarative scenario redesign — the workload generators, platform
+builders and schedulers of :mod:`repro.scenario.registries`.  The CLI builds
+its ``choices`` from the registry keys, :class:`~repro.scenario.spec.
+ScenarioSpec` validates against them, and the experiment sweeps iterate them.
+Registering a new entry in one place therefore makes it reachable from every
+layer (engine, CLI, scenario files, campaigns) without further wiring.
 
 A registry is an immutable-feeling :class:`~collections.abc.Mapping` from
-policy name to zero-argument factory; :meth:`PolicyRegistry.resolve` coerces
-either a name or an already-built instance into an instance.
+name to entry; :meth:`PolicyRegistry.resolve` coerces either a name or an
+already-built instance into an instance (for zero-argument factories), while
+:meth:`PolicyRegistry.lookup` returns the raw registered entry.  Unknown
+names never die with a bare :class:`KeyError`: the error message lists the
+registered names and suggests close matches
+(:func:`difflib.get_close_matches`).
 """
 
 from __future__ import annotations
 
+import difflib
 from collections.abc import Mapping
 from typing import Callable, Iterator, TypeVar
 
-__all__ = ["PolicyRegistry"]
+__all__ = ["PolicyRegistry", "close_matches_hint"]
 
 T = TypeVar("T")
 
 
+def close_matches_hint(name: object, allowed) -> str:
+    """``" — did you mean 'x' or 'y'?"`` for *name* against *allowed* names.
+
+    The one place that owns the suggestion wording — the registries, the
+    scenario serializer and the grid expander all append it to their own
+    "unknown ..." prefixes.  Empty string when nothing is close.
+    """
+    matches = difflib.get_close_matches(str(name), list(allowed), n=3, cutoff=0.5)
+    if not matches:
+        return ""
+    return f" — did you mean {' or '.join(repr(m) for m in matches)}?"
+
+
 class PolicyRegistry(Mapping):
-    """A mapping of policy name → zero-argument factory."""
+    """A mapping of name → factory (or arbitrary registered entry)."""
 
     def __init__(self, kind: str):
         self._kind = kind
-        self._factories: dict[str, Callable[[], object]] = {}
+        self._factories: dict[str, object] = {}
 
     # ---------------------------------------------------------------- mutation
-    def register(self, factory: Callable[[], T], name: str | None = None) -> Callable[[], T]:
+    def register(self, factory: T, name: str | None = None) -> T:
         """Register *factory* under *name* (default: its ``name`` attribute).
 
         Returns the factory so the method doubles as a class decorator.
@@ -40,12 +60,12 @@ class PolicyRegistry(Mapping):
         if not key:
             raise ValueError(f"cannot register {factory!r} without a name")
         if key in self._factories:
-            raise ValueError(f"{self._kind} policy {key!r} is already registered")
+            raise ValueError(f"{self._kind} {key!r} is already registered")
         self._factories[key] = factory
         return factory
 
     # ----------------------------------------------------------------- mapping
-    def __getitem__(self, name: str) -> Callable[[], object]:
+    def __getitem__(self, name: str) -> object:
         return self._factories[name]
 
     def __iter__(self) -> Iterator[str]:
@@ -56,10 +76,28 @@ class PolicyRegistry(Mapping):
 
     @property
     def names(self) -> tuple[str, ...]:
-        """Registered policy names, sorted (used for CLI ``choices``)."""
+        """Registered names, sorted (used for CLI ``choices``)."""
         return tuple(sorted(self._factories))
 
     # --------------------------------------------------------------- resolution
+    def describe_unknown(self, name: object) -> str:
+        """Error message for an unknown *name*, with close-match suggestions."""
+        return (
+            f"unknown {self._kind} {name!r}, expected one of {sorted(self._factories)}"
+            f"{close_matches_hint(name, self._factories)}"
+        )
+
+    def lookup(self, name: str) -> object:
+        """The raw entry registered under *name*.
+
+        Raises :class:`KeyError` with the registered names and close-match
+        suggestions when *name* is unknown.
+        """
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise KeyError(self.describe_unknown(name)) from None
+
     def resolve(self, policy, protocol: type | None = None):
         """Coerce a policy name or instance into a policy instance.
 
@@ -71,14 +109,11 @@ class PolicyRegistry(Mapping):
             try:
                 return self._factories[policy]()
             except KeyError:
-                raise ValueError(
-                    f"unknown {self._kind} policy {policy!r}, "
-                    f"expected one of {sorted(self._factories)}"
-                ) from None
+                raise ValueError(self.describe_unknown(policy)) from None
         if protocol is None or isinstance(policy, protocol):
             return policy
         raise TypeError(
-            f"{self._kind} policy must be a name or a "
+            f"{self._kind} must be a name or a "
             f"{getattr(protocol, '__name__', protocol)}, got {type(policy).__name__}"
         )
 
