@@ -109,6 +109,7 @@ from repro.baselines import (
 )
 from repro.scenario import (
     ScenarioSpec,
+    SuiteSpec,
     WorkloadSpec,
     SchedulerSpec,
     FaultSpec,
@@ -236,6 +237,7 @@ __all__ = [
     "minimal_period_schedule",
     # declarative scenarios + session facade
     "ScenarioSpec",
+    "SuiteSpec",
     "WorkloadSpec",
     "SchedulerSpec",
     "FaultSpec",

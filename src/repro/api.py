@@ -1,7 +1,7 @@
 """The Session facade: one typed entry point for every front end.
 
 A :class:`Session` wraps one :class:`~repro.scenario.spec.ScenarioSpec` and
-drives all four execution front ends of the reproduction through it —
+drives every execution front end of the reproduction through it —
 
 * :meth:`Session.schedule` — build the ε-fault-tolerant schedule (the static
   machinery of the paper);
@@ -10,11 +10,16 @@ drives all four execution front ends of the reproduction through it —
 * :meth:`Session.run_online` — one seeded run of the online runtime under
   stochastic failures, bit-identical to a direct
   :class:`~repro.runtime.engine.OnlineRuntime` call on the same inputs;
-* :meth:`Session.monte_carlo` — a parallel Monte-Carlo campaign of such runs.
+* :meth:`Session.monte_carlo` — a parallel Monte-Carlo campaign of such runs;
+* :meth:`Session.sweep` — a whole grid of such campaigns over arbitrary spec
+  axes (or a :class:`~repro.scenario.suite.SuiteSpec` loaded from one file),
+  sharded across processes, served from the spec-hash result cache, returning
+  figure-ready panels.
 
-All four return uniform :class:`Result` objects carrying the spec, the seed
-and a ``summary()`` of headline metrics, so reports and CLIs render any of
-them the same way.
+The first four return uniform :class:`Result` objects carrying the spec, the
+seed and a ``summary()`` of headline metrics, so reports and CLIs render any
+of them the same way; sweeps return a
+:class:`~repro.experiments.sweep.SweepResult` with pivoting helpers.
 
 >>> from repro.api import Session
 >>> session = Session.from_dict({
@@ -25,10 +30,15 @@ them the same way.
 >>> result.schedule.epsilon
 1
 
-Scenario files make the same session reproducible from disk::
+Scenario files make the same session reproducible from disk, and suite files
+sweep whole grids of them through the result cache::
 
     session = Session.from_file("examples/scenario.json")
     print(session.run_online(seed=0).summary())
+
+    suite = SuiteSpec.from_file("examples/suite.json")
+    result = session.sweep(suite, cache="results-cache/")
+    print(result.panel(x_axis="faults.mttf_periods", metric="availability"))
 """
 
 from __future__ import annotations
@@ -65,7 +75,26 @@ __all__ = [
 # ------------------------------------------------------------------- results
 @dataclass(frozen=True)
 class Result:
-    """Common shape of every Session outcome: spec + seed + summary."""
+    """Common shape of every Session outcome: spec + seed + summary.
+
+    Every front end returns a subclass (:class:`ScheduleResult`,
+    :class:`SimulateResult`, :class:`OnlineResult`, :class:`MonteCarloResult`)
+    that keeps the full domain objects (schedule, traces, …) *and* renders
+    uniformly: ``summary()`` gives the headline metrics, ``as_rows()`` the
+    same as table rows, and ``kind`` tags the front end that produced it.
+
+    >>> from repro.api import Session
+    >>> result = Session.from_dict({
+    ...     "workload": {"num_tasks": 12, "num_processors": 6},
+    ...     "scheduler": {"epsilon": 1},
+    ... }).schedule()
+    >>> result.kind
+    'schedule'
+    >>> result.seed
+    0
+    >>> [name for name, _ in result.as_rows()][:3]
+    ['algorithm', 'period', 'epsilon']
+    """
 
     spec: ScenarioSpec
     seed: int
@@ -224,7 +253,17 @@ class Session:
         return self._pipeline(seed)[0]
 
     def schedule(self, seed: int = 0) -> ScheduleResult:
-        """Build the ε-fault-tolerant schedule of the scenario."""
+        """Build the ε-fault-tolerant schedule of the scenario.
+
+        >>> result = Session.from_dict({
+        ...     "workload": {"num_tasks": 12, "num_processors": 6},
+        ...     "scheduler": {"epsilon": 1},
+        ... }).schedule()
+        >>> result.schedule.epsilon
+        1
+        >>> result.summary()["stages"] >= 1
+        True
+        """
         workload, schedule = self._pipeline(seed)
         return ScheduleResult(
             spec=self._spec, seed=seed, workload=workload, schedule=schedule
@@ -233,7 +272,20 @@ class Session:
     def simulate(
         self, num_datasets: int | None = None, seed: int = 0
     ) -> SimulateResult:
-        """Stream data sets through the offline (crash-free) simulator."""
+        """Stream data sets through the offline (crash-free) simulator.
+
+        *num_datasets* defaults to the spec's ``runtime.num_datasets``.  The
+        steady-state latency sanity-checks the paper's ``L = (2S−1)·Δ`` model.
+
+        >>> result = Session.from_dict({
+        ...     "workload": {"num_tasks": 12, "num_processors": 6},
+        ...     "scheduler": {"epsilon": 1},
+        ... }).simulate(num_datasets=5)
+        >>> result.simulation.num_datasets
+        5
+        >>> result.summary()["steady-state latency"] > 0
+        True
+        """
         workload, schedule = self._pipeline(seed)
         count = self._spec.runtime.num_datasets if num_datasets is None else num_datasets
         simulation = StreamingSimulator(schedule).run(count)
@@ -254,6 +306,17 @@ class Session:
         schedule come from the per-seed pipeline cache, so
         ``schedule()`` / ``simulate()`` / ``run_online()`` on one seed build
         them once.
+
+        >>> session = Session.from_dict({
+        ...     "workload": {"num_tasks": 12, "num_processors": 6},
+        ...     "scheduler": {"epsilon": 1},
+        ...     "runtime": {"num_datasets": 20},
+        ... })
+        >>> trace = session.run_online(seed=3).trace
+        >>> trace == session.run_online(seed=3).trace  # pure in (spec, seed)
+        True
+        >>> trace.num_datasets
+        20
         """
         workload, schedule = self._pipeline(seed)
         _, fault_seed = resolve_seeds(self._spec, seed)
@@ -264,16 +327,104 @@ class Session:
         )
 
     def monte_carlo(
-        self, trials: int = 20, seed: int = 0, jobs: int | None = 1
+        self, trials: int = 20, seed: int = 0, jobs: int | None = 1, cache=None
     ) -> MonteCarloResult:
         """A Monte-Carlo campaign of online runs, ``jobs`` trials at a time.
 
         Child seeds derive up front from *seed*, so the result is bit-for-bit
-        identical for any ``jobs`` value.
+        identical for any ``jobs`` value.  *cache* (a :mod:`repro.cache`
+        object or a directory path) serves the whole campaign from its
+        content address when the identical ``(spec, seed, trials)`` ran
+        before on this code version.
+
+        >>> session = Session.from_dict({
+        ...     "workload": {"num_tasks": 12, "num_processors": 6},
+        ...     "scheduler": {"epsilon": 1},
+        ...     "runtime": {"num_datasets": 20},
+        ... })
+        >>> mc = session.monte_carlo(trials=2, seed=1)
+        >>> mc.stats.trials
+        2
         """
         # Imported lazily: the experiments package must not load on import of
         # the facade (it pulls the whole campaign/figure stack).
         from repro.experiments.parallel import run_runtime_campaign
 
-        campaign = run_runtime_campaign(self._spec, trials=trials, seed=seed, jobs=jobs)
+        campaign = run_runtime_campaign(
+            self._spec, trials=trials, seed=seed, jobs=jobs, cache=cache
+        )
         return MonteCarloResult(spec=self._spec, seed=seed, campaign=campaign)
+
+    def sweep(
+        self,
+        axes=None,
+        trials: int | None = None,
+        seed: int | None = None,
+        jobs: int | None = 1,
+        cache=None,
+        name: str | None = None,
+        **kw_axes,
+    ) -> "SweepResult":  # noqa: F821 - imported lazily
+        """A grid of Monte-Carlo campaigns over arbitrary spec axes.
+
+        *axes* is either a mapping of dotted spec paths to value lists — the
+        grid is their cartesian product applied to this session's spec (first
+        axis major; keyword axes use ``__`` for the dot, as in
+        :meth:`ScenarioSpec.grid <repro.scenario.spec.ScenarioSpec.grid>`) —
+        or an entire :class:`~repro.scenario.suite.SuiteSpec`, which runs
+        with its *own* base scenario, trials and seed (this is how suite
+        files execute: ``Session(spec).sweep(SuiteSpec.from_file(path))``).
+
+        *trials* and *seed* default to 10 and 0 for axis mappings, and to the
+        suite's declared values for suites.  *cache* enables spec-hash result
+        caching (a :mod:`repro.cache` object or a directory path): points
+        whose ``(spec, seed, trials, code version)`` ran before are served
+        bit-identically from disk, only changed points re-execute, *jobs* at
+        a time.  Returns a :class:`~repro.experiments.sweep.SweepResult`
+        whose :meth:`~repro.experiments.sweep.SweepResult.panel` pivots any
+        ``(x_axis, metric, y_axis)`` choice into a figure-ready series.
+
+        >>> session = Session.from_dict({
+        ...     "workload": {"num_tasks": 12, "num_processors": 6},
+        ...     "scheduler": {"epsilon": 1},
+        ...     "runtime": {"num_datasets": 20},
+        ... })
+        >>> result = session.sweep({"faults.mttf_periods": [40.0, 80.0]},
+        ...                        trials=1)
+        >>> [point.value_of("faults.mttf_periods") for point in result.points]
+        [40.0, 80.0]
+        >>> result.panel(metric="availability").x
+        (40.0, 80.0)
+        """
+        # Imported lazily, like monte_carlo: the facade must not pull the
+        # experiments stack at import time.
+        from repro.experiments.sweep import run_suite
+        from repro.scenario.suite import SuiteSpec
+
+        if isinstance(axes, SuiteSpec):
+            if kw_axes:
+                raise TypeError(
+                    "pass axes either as a SuiteSpec or as keyword axes, not both"
+                )
+            if name is not None:
+                # silently keeping the suite's own name would leave report
+                # headers and panel names labeled with a name the caller
+                # believes they overrode
+                raise TypeError(
+                    "name= only applies when building a suite from axes; "
+                    "rename a SuiteSpec with dataclasses.replace(suite, name=...)"
+                )
+            suite = axes
+        else:
+            merged = dict(axes or {})
+            for key, values in kw_axes.items():
+                merged[key.replace("__", ".")] = values
+            suite = SuiteSpec(
+                base=self._spec,
+                axes=merged,
+                name="sweep" if name is None else name,
+                trials=10 if trials is None else trials,
+                seed=0 if seed is None else seed,
+            )
+            trials = seed = None  # the suite now carries the resolved values
+        return run_suite(suite, seed=seed, trials=trials, jobs=jobs, cache=cache)

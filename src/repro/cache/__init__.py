@@ -1,0 +1,58 @@
+"""Content-addressed result caching for scenario executions.
+
+Every execution in this library is a pure function of ``(spec, seed)`` — the
+online trace, the Monte-Carlo campaign, every point of a suite sweep.  That
+purity is what makes results *cacheable by content*: a canonical hash of the
+serialized spec, the seed and the code version addresses the result, so a
+cache hit is guaranteed to be bit-identical to re-running the point, and any
+edit to any spec field (or the seed, or the library version) changes the
+address and forces a re-run.
+
+* :mod:`repro.cache.keys` — canonical JSON serialization and the
+  ``sha256(spec.to_dict(), seed, code_version)`` key derivation;
+* :mod:`repro.cache.disk` — the on-disk backend (checksummed, atomically
+  written entries; corrupted entries are discarded, never trusted) plus the
+  in-memory :class:`NullCache` used by ``--no-cache``, and the hit/miss
+  counters surfaced in sweep reports.
+
+The cache layer deliberately knows nothing about scenarios or campaigns —
+callers derive keys with :func:`result_key` / :func:`campaign_key` and store
+whatever picklable result object they like.  The suite runner
+(:func:`repro.experiments.sweep.run_suite`) is the primary customer: re-running
+a suite after editing one axis only re-executes the changed points.
+
+>>> from repro.cache import NullCache, MISS
+>>> cache = NullCache()
+>>> cache.get("deadbeef") is MISS
+True
+"""
+
+from repro.cache.disk import (
+    MISS,
+    CacheStats,
+    DiskCache,
+    NullCache,
+    default_cache_dir,
+    open_cache,
+)
+from repro.cache.keys import (
+    CACHE_SCHEMA,
+    cache_code_version,
+    campaign_key,
+    canonical_json,
+    result_key,
+)
+
+__all__ = [
+    "MISS",
+    "CacheStats",
+    "DiskCache",
+    "NullCache",
+    "open_cache",
+    "default_cache_dir",
+    "CACHE_SCHEMA",
+    "cache_code_version",
+    "campaign_key",
+    "canonical_json",
+    "result_key",
+]

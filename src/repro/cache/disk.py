@@ -1,0 +1,253 @@
+"""Disk-backed result cache with integrity checking.
+
+One cache entry is one file under the cache root, named by its content key
+(sharded by the first two hex characters to keep directories small)::
+
+    <root>/ab/abcdef0123....pkl
+
+The payload is a pickled ``(key, value)`` pair wrapped in a checksummed
+envelope — a magic line identifying the format plus the SHA-256 of the pickle
+bytes.  A corrupted entry (truncated file, bit rot, a partial write from a
+crashed process, an unpicklable blob, or a key mismatch) is **discarded, never
+trusted**: the file is deleted, the error is counted, and the lookup reports a
+miss so the caller recomputes.  Writes are atomic (temp file + ``os.replace``)
+so concurrent readers never observe a half-written entry.
+
+Hit/miss/error counters accumulate on :attr:`DiskCache.stats` and are surfaced
+by the sweep reports; :class:`NullCache` implements the same interface for
+``--no-cache`` runs (every lookup misses, nothing is stored).
+
+.. warning:: Entries are **pickles**: loading one executes whatever the
+   payload describes, and the checksum is integrity, not authentication.
+   Only point a cache at directories you trust — which is why the default
+   location (:func:`default_cache_dir`) lives under the *user's* cache
+   directory, never under the current working directory, where a cloned
+   repository could plant entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+__all__ = [
+    "MISS",
+    "CacheStats",
+    "DiskCache",
+    "NullCache",
+    "open_cache",
+    "default_cache_dir",
+]
+
+
+def default_cache_dir() -> Path:
+    """The default cache location: the *user's* cache dir, never the cwd.
+
+    ``$REPRO_CACHE_DIR`` overrides outright; otherwise
+    ``$XDG_CACHE_HOME/repro-streaming`` (or ``~/.cache/repro-streaming``).
+    A cwd-relative default would let an untrusted checkout ship poisoned
+    pickle entries (see the module warning).
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    root = Path(xdg) if xdg else Path.home() / ".cache"
+    return root / "repro-streaming"
+
+
+class _Miss:
+    """Sentinel distinguishing 'not cached' from a cached ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "<cache MISS>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: returned by ``get`` when the key has no (trustworthy) entry.
+MISS = _Miss()
+
+#: format tag of the on-disk envelope; changing the layout changes the magic.
+_MAGIC = b"repro-cache/1\n"
+
+#: pickle protocol 4 is supported by every Python this library runs on and is
+#: stable across the 3.10–3.13 matrix, so one machine's cache serves them all.
+_PICKLE_PROTOCOL = 4
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one cache instance (mutable counters).
+
+    ``errors`` counts discarded entries (corruption, key mismatch, unexpected
+    type) and failed writes; an errored lookup also counts as a miss, so
+    ``hits + misses`` always equals the number of ``get`` calls.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none happened)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy (results hold one; counters keep moving)."""
+        return replace(self)
+
+    def describe(self) -> str:
+        """One-line summary used by the sweep reports."""
+        return (
+            f"{self.hits} hits, {self.misses} misses, {self.errors} errors "
+            f"({self.hit_rate:.0%} hit rate)"
+        )
+
+
+class NullCache:
+    """The no-op cache behind ``--no-cache``: every lookup misses."""
+
+    #: distinguishes a disabled cache in reports without isinstance checks.
+    enabled = False
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def get(self, key: str, expect: type | None = None):
+        self.stats.misses += 1
+        return MISS
+
+    def put(self, key: str, value) -> None:
+        return None
+
+
+class DiskCache:
+    """Content-addressed cache of picklable results under one directory."""
+
+    enabled = True
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DiskCache({str(self.root)!r}, {self.stats.describe()})"
+
+    # ------------------------------------------------------------------ layout
+    def path_of(self, key: str) -> Path:
+        """The entry file of *key* (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------ lookup
+    def get(self, key: str, expect: type | None = None):
+        """The cached value of *key*, or :data:`MISS`.
+
+        With *expect* set, an entry holding any other type is treated exactly
+        like corruption: discarded and reported as a miss.  Any I/O or
+        unpickling failure is likewise a discard-and-miss, never an exception
+        — a damaged cache must degrade to recomputation, not take the run
+        down.
+        """
+        path = self.path_of(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return MISS
+        except OSError:
+            # a transient read failure (EIO, stale NFS handle) is not
+            # corruption: degrade to a miss but leave the entry on disk —
+            # only a blob that was read and failed validation gets discarded
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return MISS
+        value = self._decode(key, blob)
+        if value is MISS:
+            return self._discard(path)
+        if expect is not None and not isinstance(value, expect):
+            return self._discard(path)
+        self.stats.hits += 1
+        return value
+
+    def _decode(self, key: str, blob: bytes):
+        if not blob.startswith(_MAGIC):
+            return MISS
+        body = blob[len(_MAGIC) :]
+        digest, sep, payload = body.partition(b"\n")
+        if not sep or hashlib.sha256(payload).hexdigest().encode() != digest:
+            return MISS
+        try:
+            stored_key, value = pickle.loads(payload)
+        except Exception:
+            return MISS
+        if stored_key != key:
+            return MISS
+        return value
+
+    def _discard(self, path: Path):
+        """Drop an untrustworthy entry and report the lookup as a miss."""
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing unlink / perms
+            pass
+        self.stats.errors += 1
+        self.stats.misses += 1
+        return MISS
+
+    # ------------------------------------------------------------------- store
+    def put(self, key: str, value) -> None:
+        """Store *value* under *key* (atomically; failures never propagate)."""
+        path = self.path_of(key)
+        try:
+            payload = pickle.dumps((key, value), protocol=_PICKLE_PROTOCOL)
+            blob = (
+                _MAGIC + hashlib.sha256(payload).hexdigest().encode() + b"\n" + payload
+            )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            # a full disk or unpicklable value (pickle raises TypeError or
+            # AttributeError for most of those, not PicklingError) must not
+            # kill the campaign; the run just loses this entry's reuse.
+            self.stats.errors += 1
+            return
+        self.stats.writes += 1
+
+
+def open_cache(cache_dir: str | Path | None, enabled: bool = True):
+    """The cache for a run: a :class:`DiskCache` at *cache_dir*, or null.
+
+    ``enabled=False`` (the ``--no-cache`` flag) and ``cache_dir=None`` both
+    produce a :class:`NullCache`; an already-constructed cache object passes
+    through unchanged, so custom backends plug in.  The full backend
+    interface the runners consume is ``get(key, expect=None)`` /
+    ``put(key, value)`` plus an ``enabled`` flag and a ``stats``
+    :class:`CacheStats` — model a new backend on :class:`DiskCache`.
+    """
+    if not enabled or cache_dir is None:
+        return NullCache()
+    if hasattr(cache_dir, "get") and hasattr(cache_dir, "put"):
+        return cache_dir
+    return DiskCache(cache_dir)

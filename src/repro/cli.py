@@ -44,6 +44,17 @@ Declarative scenarios: define a scenario once as JSON and drive any front end
     repro-streaming config --emit > scenario.json                  # dump the default spec
     repro-streaming config --mttf 60 --mttr 30 --admission queue --emit
     repro-streaming config --scenario scenario.json                # validate a file
+
+Scenario *suites*: one JSON file holding a base scenario plus named axes,
+executed as a single sharded campaign with spec-hash result caching — an
+unchanged suite re-runs entirely from cache, and replacing an axis value
+re-executes only the changed grid points::
+
+    repro-streaming suite run examples/suite.json --jobs 4
+    repro-streaming suite run examples/suite.json --x-axis faults.mttf_periods
+    repro-streaming suite run examples/suite.json --no-cache
+    repro-streaming suite run examples/suite.json --smoke          # tiny CI pass
+    repro-streaming suite emit > suite.json                        # starter suite
 """
 
 from __future__ import annotations
@@ -99,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_parser(sub)
     _add_run_parser(sub)
     _add_config_parser(sub)
+    _add_suite_parser(sub)
     return parser
 
 
@@ -286,6 +298,7 @@ def _add_runtime_parser(sub) -> None:
     p.add_argument(
         "--no-plot", action="store_true", help="print only the tables, no ASCII plots"
     )
+    _add_cache_options(p)
 
 
 def _add_run_parser(sub) -> None:
@@ -315,6 +328,181 @@ def _add_run_parser(sub) -> None:
             "four modes once — the CI configuration smoke test"
         ),
     )
+
+
+def _add_cache_options(
+    p: argparse.ArgumentParser, cache_by_default: bool = False
+) -> None:
+    """The result-cache flags shared by ``suite run`` and ``runtime``.
+
+    ``suite run`` caches by default in the *user's* cache directory (never
+    the cwd — see :func:`repro.cache.default_cache_dir`); ``runtime`` opts in
+    via an explicit ``--cache-dir``, keeping its output byte-stable run over
+    run.
+    """
+    if cache_by_default:
+        from repro.cache import default_cache_dir
+
+        default_dir, default_help = (
+            str(default_cache_dir()),
+            " (default: the user cache dir; $REPRO_CACHE_DIR overrides)",
+        )
+    else:
+        default_dir, default_help = None, " (off by default)"
+    p.add_argument(
+        "--cache-dir",
+        default=default_dir,
+        help="directory of the spec-hash result cache" + default_help,
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache entirely (neither read nor write it)",
+    )
+
+
+def _open_cli_cache(args: argparse.Namespace):
+    from repro.cache import open_cache
+
+    return open_cache(args.cache_dir, enabled=not args.no_cache)
+
+
+def _add_suite_parser(sub) -> None:
+    p = sub.add_parser(
+        "suite",
+        help=(
+            "scenario suites: a base scenario + named axes executed as one "
+            "sharded, cached sweep campaign"
+        ),
+    )
+    ssub = p.add_subparsers(dest="suite_command", required=True)
+    run_p = ssub.add_parser(
+        "run", help="execute every grid point of a suite JSON file"
+    )
+    run_p.add_argument("suite", help="path to a suite JSON file")
+    run_p.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for cache-miss points"
+    )
+    run_p.add_argument(
+        "--seed", type=int, default=None, help="override the suite's campaign seed"
+    )
+    run_p.add_argument(
+        "--trials", type=int, default=None, help="override the suite's trials/point"
+    )
+    run_p.add_argument(
+        "--x-axis",
+        default=None,
+        help="suite axis plotted on x in the report panels (default: first axis)",
+    )
+    run_p.add_argument(
+        "--y-axis",
+        default=None,
+        help="suite axis leading the curve labels (default: declaration order)",
+    )
+    run_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "shrink the suite (2 values per axis, 1 trial, short streams) "
+            "and run it — the CI configuration smoke test"
+        ),
+    )
+    run_p.add_argument(
+        "--no-plot", action="store_true", help="print only the tables, no ASCII plots"
+    )
+    _add_cache_options(run_p, cache_by_default=True)
+    emit_p = ssub.add_parser(
+        "emit", help="print a starter suite JSON (pipe into a suite file)"
+    )
+    emit_p.add_argument(
+        "--scenario",
+        default=None,
+        help="use this scenario JSON file as the suite's base scenario",
+    )
+
+
+def _run_suite_command(args: argparse.Namespace) -> int:
+    from repro.exceptions import SchedulingError
+    from repro.scenario.suite import SuiteSpec
+
+    if args.suite_command == "emit":
+        return _emit_suite(args)
+    from repro.experiments.reporting import render_suite
+    from repro.experiments.sweep import run_suite
+
+    try:
+        suite = SuiteSpec.from_file(args.suite)
+    except OSError as exc:
+        print(f"repro-streaming suite: error: cannot read suite: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro-streaming suite: error: {exc}", file=sys.stderr)
+        return 2
+    if args.smoke:
+        suite = suite.smoke()
+    # a bad axis flag must fail here, not after the whole grid executed
+    for flag, value in (("--x-axis", args.x_axis), ("--y-axis", args.y_axis)):
+        if value is not None and value not in suite.axes:
+            print(
+                f"repro-streaming suite: error: {flag}: {value!r} is not an "
+                f"axis of suite {suite.name!r} (axes: {list(suite.axes)})",
+                file=sys.stderr,
+            )
+            return 2
+    effective_x = args.x_axis or next(iter(suite.axes), None)
+    if args.y_axis is not None and args.y_axis == effective_x:
+        print(
+            f"repro-streaming suite: error: --y-axis {args.y_axis!r} is the "
+            f"x axis of the report; pick a different axis for the curves",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        result = run_suite(
+            suite,
+            seed=args.seed,
+            trials=args.trials,
+            jobs=args.jobs,
+            cache=_open_cli_cache(args),
+        )
+        report = render_suite(
+            result, x_axis=args.x_axis, y_axis=args.y_axis, plot=not args.no_plot
+        )
+    except (ValueError, SchedulingError) as exc:
+        print(f"repro-streaming suite: error: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    return 0
+
+
+def _emit_suite(args: argparse.Namespace) -> int:
+    from repro.scenario.spec import ScenarioSpec
+    from repro.scenario.suite import SuiteSpec
+
+    try:
+        if args.scenario is not None:
+            base = ScenarioSpec.from_file(args.scenario)
+        else:
+            base = ScenarioSpec()
+    except OSError as exc:
+        print(
+            f"repro-streaming suite: error: cannot read scenario: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    except ValueError as exc:
+        print(f"repro-streaming suite: error: {exc}", file=sys.stderr)
+        return 2
+    suite = SuiteSpec(
+        base=base,
+        axes={
+            "faults.mttf_periods": [50.0, 100.0, 200.0, 400.0],
+            "faults.mttr_periods": [None, 25.0],
+        },
+        name=f"{base.name}-suite",
+    )
+    print(suite.to_json())
+    return 0
 
 
 def _add_config_parser(sub) -> None:
@@ -410,11 +598,15 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
                 trials=args.trials,
                 seed=args.seed,
                 jobs=args.jobs,
+                cache=_open_cli_cache(args),
             )
             print(render_sweep(sweep, plot=not args.no_plot))
             return 0
         result = Session(spec).monte_carlo(
-            trials=args.trials, seed=args.seed, jobs=args.jobs
+            trials=args.trials,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=_open_cli_cache(args),
         )
     except (ValueError, SchedulingError) as exc:
         print(f"repro-streaming runtime: error: {exc}", file=sys.stderr)
@@ -524,6 +716,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_run_command(args)
     if command == "config":
         return _run_config_command(args)
+    if command == "suite":
+        return _run_suite_command(args)
 
     config = _config(args)
     jobs = getattr(args, "jobs", 1)

@@ -11,8 +11,10 @@
 * :mod:`repro.experiments.parallel` — the parallel Monte-Carlo campaign
   engine (``jobs``-way process fan-out of runtime trials and per-graph
   campaign work units, deterministic regardless of the worker count);
-* :mod:`repro.experiments.sweep` — the failure-regime sweep of the online
-  runtime (mttf/mttr grid × Weibull shapes → figure-style report).
+* :mod:`repro.experiments.sweep` — suite execution (:func:`run_suite`,
+  :class:`SweepResult` with arbitrary-axis panel pivots, spec-hash result
+  caching) and the failure-regime sweep of the online runtime
+  (mttf/mttr grid × Weibull shapes → figure-style report) built on it.
 """
 
 from repro.experiments.config import ExperimentConfig, bench_config, paper_config, workload_period
@@ -30,7 +32,12 @@ from repro.experiments.figures import (
     scaling_study,
 )
 from repro.experiments.tables import figure1_scenarios, figure2_example
-from repro.experiments.reporting import render_series, render_point_table, render_sweep
+from repro.experiments.reporting import (
+    render_series,
+    render_point_table,
+    render_suite,
+    render_sweep,
+)
 from repro.experiments.parallel import (
     parallel_map,
     RuntimeCampaignResult,
@@ -40,6 +47,9 @@ from repro.experiments.sweep import (
     SweepPoint,
     RuntimeSweepResult,
     run_runtime_sweep,
+    SuitePointResult,
+    SweepResult,
+    run_suite,
 )
 
 __all__ = [
@@ -66,10 +76,14 @@ __all__ = [
     "render_series",
     "render_point_table",
     "render_sweep",
+    "render_suite",
     "parallel_map",
     "RuntimeCampaignResult",
     "run_runtime_campaign",
     "SweepPoint",
     "RuntimeSweepResult",
     "run_runtime_sweep",
+    "SuitePointResult",
+    "SweepResult",
+    "run_suite",
 ]

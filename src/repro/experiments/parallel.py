@@ -72,6 +72,7 @@ def run_runtime_campaign(
     trials: int = 20,
     seed: int = 0,
     jobs: int | None = 1,
+    cache=None,
 ) -> RuntimeCampaignResult:
     """Run *trials* independent online-runtime trials, *jobs* at a time.
 
@@ -81,6 +82,12 @@ def run_runtime_campaign(
     traces).  The child seeds are drawn up-front from *seed*, so the campaign
     result is identical for any value of *jobs* and any machine; two
     campaigns with the same ``(spec, trials, seed)`` produce equal traces.
+
+    That purity is what *cache* exploits: a cache object from
+    :mod:`repro.cache` (or a directory path) serves the whole campaign from
+    its content address when the identical ``(spec, seed, trials)`` ran
+    before on this code version — bit-identical to re-executing — and stores
+    fresh results for next time.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -93,9 +100,20 @@ def run_runtime_campaign(
             stacklevel=2,
         )
         spec = spec.to_scenario()
+    from repro.cache import MISS, campaign_key, open_cache
+
+    cache = open_cache(cache)
+    key = campaign_key(spec, seed, trials) if cache.enabled else None
+    if key is not None:
+        hit = cache.get(key, expect=RuntimeCampaignResult)
+        if hit is not MISS:
+            return hit
     rng = ensure_rng(seed)
     trial_seeds = tuple(derive_seed(rng) for _ in range(trials))
     traces = parallel_map(partial(run_trial, spec), trial_seeds, jobs=jobs)
-    return RuntimeCampaignResult(
+    result = RuntimeCampaignResult(
         spec=spec, seed=seed, trial_seeds=trial_seeds, traces=tuple(traces)
     )
+    if key is not None:
+        cache.put(key, result)
+    return result

@@ -10,9 +10,15 @@ from repro.experiments.tables import ExampleRow
 from repro.utils.ascii import ascii_plot, format_table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports figures)
-    from repro.experiments.sweep import RuntimeSweepResult
+    from repro.experiments.sweep import RuntimeSweepResult, SweepResult
 
-__all__ = ["render_series", "render_point_table", "render_example_rows", "render_sweep"]
+__all__ = [
+    "render_series",
+    "render_point_table",
+    "render_example_rows",
+    "render_sweep",
+    "render_suite",
+]
 
 
 def render_series(figure: FigureSeries, plot: bool = True) -> str:
@@ -34,6 +40,20 @@ def render_point_table(points: Sequence[PointResult]) -> str:
     return format_table(headers, rows)
 
 
+def _cache_line(result: "SweepResult") -> str:
+    """The cache-accounting line of a suite/sweep report."""
+    if not result.cache_enabled:
+        return (
+            f"cache: disabled — executed {result.executed_count} of "
+            f"{len(result.points)} points"
+        )
+    stats = result.cache_stats
+    return (
+        f"cache: {stats.describe()} — executed {result.executed_count} of "
+        f"{len(result.points)} points"
+    )
+
+
 def render_sweep(result: "RuntimeSweepResult", plot: bool = True) -> str:
     """Render every panel of a runtime failure-regime sweep (one per metric)."""
     header = (
@@ -41,8 +61,46 @@ def render_sweep(result: "RuntimeSweepResult", plot: bool = True) -> str:
         f"policy {result.spec.runtime.policy}, admission {result.spec.runtime.admission}, "
         f"mttf grid {[f'{m:g}' for m in result.mttf_grid]}"
     )
+    lines = [header]
+    # only when a real cache backed the run: a cacheless `runtime --sweep`
+    # keeps its historical, byte-stable report.
+    if result.sweep is not None and result.sweep.cache_enabled:
+        lines.append(_cache_line(result.sweep))
     panels = [render_series(figure, plot=plot) for figure in result.figures()]
-    return "\n\n".join([header, *panels])
+    return "\n\n".join(["\n".join(lines), *panels])
+
+
+def render_suite(
+    result: "SweepResult",
+    x_axis: str | None = None,
+    y_axis: str | None = None,
+    plot: bool = True,
+) -> str:
+    """Render a suite run: header, per-point table, one panel per metric.
+
+    *x_axis* / *y_axis* choose the pivot exactly as in
+    :meth:`~repro.experiments.sweep.SweepResult.panel`.  The ASCII plots
+    chart each curve against its x *index* (``repro.utils.ascii.ascii_plot``
+    never reads the x values), so non-numeric x axes render fine — the
+    tables carry the actual x values.
+    """
+    from repro.experiments.sweep import SWEEP_METRICS
+
+    suite = result.suite
+    # the header shows the trials/seed this run actually executed with,
+    # which --trials/--seed may have overridden from the suite's defaults
+    lines = [
+        f"Suite {suite.describe(trials=result.trials, seed=result.seed)}",
+        _cache_line(result),
+    ]
+    table = format_table(result.row_headers(), result.as_rows(), title="grid points")
+    if not suite.axes:
+        return "\n\n".join(["\n".join(lines), table])
+    panels = [
+        render_series(result.panel(x_axis, metric, y_axis=y_axis), plot=plot)
+        for metric in SWEEP_METRICS
+    ]
+    return "\n\n".join(["\n".join(lines), table, *panels])
 
 
 def render_example_rows(rows: Sequence[ExampleRow], title: str) -> str:

@@ -1,21 +1,31 @@
-"""Scenario-diversity sweep of the online runtime.
+"""Sweep campaigns of the online runtime: generic suites and the failure grid.
 
-Sweeps a grid of failure regimes — mean time to failure × mean time to repair
-× Weibull shape — through seeded Monte-Carlo campaigns of the online runtime
-and aggregates the results into figure-style panels
-(:class:`~repro.experiments.figures.FigureSeries`) rendered by
-:mod:`repro.experiments.reporting`.  This is the ``repro-streaming runtime
---sweep`` command.
+Two layers live here.  The generic layer executes a
+:class:`~repro.scenario.suite.SuiteSpec` — any axes over any base scenario —
+as one sharded, cached campaign (:func:`run_suite`) and returns a
+:class:`SweepResult` whose :meth:`~SweepResult.panel` pivots the grid into
+figure-ready :class:`~repro.experiments.figures.FigureSeries` panels for
+arbitrary ``(x_axis, metric, y_axis)`` choices.  The historical failure-regime
+sweep — mttf × mttr × Weibull shape, the ``repro-streaming runtime --sweep``
+command — is now a *special case*: :func:`run_runtime_sweep` builds the
+equivalent suite and adapts the generic result, bit-for-bit identical to the
+pre-suite implementation.
 
-Since the declarative-scenario redesign the grid is literally a
-:meth:`ScenarioSpec.grid <repro.scenario.spec.ScenarioSpec.grid>` product:
-every point *is* a self-contained, picklable
-:class:`~repro.scenario.spec.ScenarioSpec`, which is what lets the points
-shard cleanly across processes.  Each grid point runs its own
-:func:`~repro.experiments.parallel.run_runtime_campaign` with a child seed
-derived *up front* in grid order, so the sweep is deterministic and
-bit-for-bit identical for any ``--jobs`` value (the points are fanned across
-processes, each campaign running serially inside its worker).
+Execution model (what makes sweeps deterministic *and* cacheable):
+
+* the grid is a :meth:`ScenarioSpec.grid <repro.scenario.spec.ScenarioSpec.
+  grid>` product — every point is a self-contained, picklable
+  :class:`~repro.scenario.spec.ScenarioSpec`;
+* every point's campaign seed is derived *up front* from the sweep seed in
+  grid order, so results are identical for any ``--jobs`` value and any
+  hit/miss pattern;
+* each point's campaign is addressed by a content hash of
+  ``(spec.to_dict(), seed, trials, code version)`` (see :mod:`repro.cache`):
+  cache hits are bit-identical to re-execution by construction, only cache
+  misses are fanned across worker processes, and re-running a suite after
+  replacing an axis value in place re-executes only the changed points
+  (*reshaping* an axis shifts the in-grid-order seeds of later points, so
+  those re-execute too — see docs/scenarios.md for the exact reuse rules).
 
 The Weibull shape axis stresses the failure-arrival law itself: ``shape < 1``
 gives infant-mortality bursts, ``shape = 1`` is the exponential (memoryless)
@@ -25,17 +35,28 @@ case of the paper, ``shape > 1`` models wear-out.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Union
 
+from repro.cache import MISS, CacheStats, campaign_key, open_cache
+from repro.exceptions import SpecificationError
 from repro.experiments.figures import FigureSeries
 from repro.runtime.montecarlo import RuntimeTrialSpec
 from repro.runtime.trace import RuntimeStats
 from repro.scenario.spec import ScenarioSpec
+from repro.scenario.suite import SuiteSpec
 from repro.utils.rng import derive_seed, ensure_rng
 
-__all__ = ["SweepPoint", "RuntimeSweepResult", "run_runtime_sweep", "SWEEP_METRICS"]
+__all__ = [
+    "SweepPoint",
+    "RuntimeSweepResult",
+    "run_runtime_sweep",
+    "SWEEP_METRICS",
+    "SuitePointResult",
+    "SweepResult",
+    "run_suite",
+]
 
 #: metric name -> RuntimeStats attribute plotted by the sweep report.
 SWEEP_METRICS: dict[str, str] = {
@@ -53,6 +74,298 @@ SWEEP_AXES = (
 )
 
 
+# ---------------------------------------------------------------- generic suites
+def _resolve_metric(metric: str) -> str:
+    """Map a report metric name (or a raw stats attribute) to the attribute."""
+    if metric in SWEEP_METRICS:
+        return SWEEP_METRICS[metric]
+    # no-default dataclass fields are not class attributes, so hasattr() on
+    # the class would miss them — consult the field map instead.
+    if metric in RuntimeStats.__dataclass_fields__:
+        return metric
+    raise SpecificationError(
+        f"unknown sweep metric {metric!r}; choose one of {list(SWEEP_METRICS)} "
+        f"or a RuntimeStats attribute"
+    )
+
+
+def _axis_leaf(path: str) -> str:
+    """The field part of a dotted axis path (``faults.mttf_periods`` → leaf)."""
+    return path.rsplit(".", 1)[-1]
+
+
+def _format_axis_value(value) -> str:
+    """Human form of one axis value in series labels (``None`` = fail-stop)."""
+    if value is None:
+        return "∞"
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _spec_value(spec: ScenarioSpec, path: str):
+    """Read one dotted path (``section.field`` or ``name``) off a spec."""
+    if path == "name":
+        return spec.name
+    section, _, leaf = path.partition(".")
+    return getattr(getattr(spec, section), leaf)
+
+
+@dataclass(frozen=True)
+class SuitePointResult:
+    """One grid point of a suite run: its spec, seed, campaign and provenance."""
+
+    spec: ScenarioSpec
+    seed: int
+    campaign: "RuntimeCampaignResult"  # noqa: F821 - imported lazily
+    #: whether this point was served from the result cache (bit-identical to
+    #: re-execution by construction) instead of being re-run.
+    cached: bool
+
+    @property
+    def stats(self) -> RuntimeStats:
+        """Aggregate statistics of the point's Monte-Carlo campaign."""
+        return self.campaign.stats
+
+    def value_of(self, path: str):
+        """The point's value on one suite axis (dotted spec path)."""
+        return _spec_value(self.spec, path)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All grid points of one suite run, in grid order, plus cache accounting.
+
+    The pivoting helpers turn the flat point list into figure-ready panels:
+    :meth:`panel` picks an x axis, a metric and (optionally) the axis that
+    names the curves; every remaining axis is folded into the curve labels, so
+    any grid dimensionality renders without loss.
+    """
+
+    suite: SuiteSpec
+    seed: int
+    trials: int
+    points: tuple[SuitePointResult, ...]
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: whether a real cache backed this run (False: every point executed and
+    #: the stats above are all zeros).
+    cache_enabled: bool = False
+
+    @property
+    def axes(self) -> dict:
+        """A copy of the suite's axes (dotted path → value tuple, grid order).
+
+        A copy, not the live dict: mutating it must not desync the suite
+        from the grid order that derived the per-point seeds.
+        """
+        return dict(self.suite.axes)
+
+    @property
+    def executed_count(self) -> int:
+        """How many points actually ran (the rest were cache hits)."""
+        return sum(1 for point in self.points if not point.cached)
+
+    @property
+    def cached_count(self) -> int:
+        return len(self.points) - self.executed_count
+
+    # ------------------------------------------------------------------ pivots
+    def panel(
+        self,
+        x_axis: str | None = None,
+        metric: str = "availability",
+        y_axis: str | None = None,
+    ) -> FigureSeries:
+        """One figure panel: *metric* vs *x_axis*, one curve per label combo.
+
+        *x_axis* must be a suite axis (default: the first one); its declared
+        values order the x vector.  *y_axis*, when given, must be another
+        axis and leads the curve labels; every other non-x axis is appended
+        to the labels, so points map one-to-one onto ``(x, curve)`` cells.
+        *metric* is a report metric name (:data:`SWEEP_METRICS`) or a raw
+        :class:`~repro.runtime.trace.RuntimeStats` attribute.
+        """
+        axes = self.suite.axes
+        if not axes:
+            raise SpecificationError(
+                f"suite {self.suite.name!r} has no axes to pivot on"
+            )
+        if x_axis is None:
+            x_axis = next(iter(axes))
+        x_values = self.suite.axis_values(x_axis)
+        attr = _resolve_metric(metric)
+        label_axes = [path for path in axes if path != x_axis]
+        if y_axis is not None:
+            if y_axis not in axes or y_axis == x_axis:
+                raise SpecificationError(
+                    f"y_axis {y_axis!r} must be a suite axis other than the "
+                    f"x axis {x_axis!r} (axes: {list(axes)})"
+                )
+            label_axes.remove(y_axis)
+            label_axes.insert(0, y_axis)
+
+        def label_of(point: SuitePointResult) -> str:
+            if not label_axes:
+                return metric
+            return ", ".join(
+                f"{_axis_leaf(path)}={_format_axis_value(point.value_of(path))}"
+                for path in label_axes
+            )
+
+        # cells are located by position (x_values.index uses ==, not hashing),
+        # so axes over unhashable values like task_range pairs pivot fine
+        series: dict[str, list] = {}
+        for point in self.points:
+            cells = series.setdefault(label_of(point), [None] * len(x_values))
+            cells[x_values.index(point.value_of(x_axis))] = getattr(
+                point.stats, attr
+            )
+        return FigureSeries(
+            name=f"{self.suite.name}:{metric}",
+            x_label=x_axis,
+            x=tuple(x_values),
+            series={label: tuple(cells) for label, cells in series.items()},
+            description=(
+                f"{metric} vs {x_axis} ({self.trials} trials/point, "
+                f"{len(self.points)} points, seed {self.seed})"
+            ),
+        )
+
+    def panels(
+        self, x_axis: str | None = None, y_axis: str | None = None
+    ) -> list[FigureSeries]:
+        """Every report panel (one per :data:`SWEEP_METRICS` metric)."""
+        return [
+            self.panel(x_axis, metric, y_axis=y_axis) for metric in SWEEP_METRICS
+        ]
+
+    def row_headers(self) -> list[str]:
+        """Column names of :meth:`as_rows`: axes, report metrics, provenance."""
+        return [*self.suite.axes, *SWEEP_METRICS, "source"]
+
+    def as_rows(self) -> list[list[object]]:
+        """One row per grid point: axis values, report metrics, provenance.
+
+        The metric columns are exactly :data:`SWEEP_METRICS` (one source of
+        truth with the panels), in the same order as :meth:`row_headers`.
+        """
+        rows = []
+        for point in self.points:
+            stats = point.stats
+            rows.append(
+                [
+                    *[point.value_of(path) for path in self.suite.axes],
+                    *[getattr(stats, attr) for attr in SWEEP_METRICS.values()],
+                    "cache" if point.cached else "run",
+                ]
+            )
+        return rows
+
+
+def _run_suite_point(
+    item: tuple[ScenarioSpec, int], trials: int
+) -> "RuntimeCampaignResult":  # noqa: F821 - imported lazily
+    """Execute one grid point's campaign (the picklable unit of suite work)."""
+    from repro.experiments.parallel import run_runtime_campaign
+
+    point_spec, seed = item
+    return run_runtime_campaign(point_spec, trials=trials, seed=seed, jobs=1)
+
+
+def run_suite(
+    suite: SuiteSpec,
+    seed: int | None = None,
+    trials: int | None = None,
+    jobs: int | None = 1,
+    cache=None,
+) -> SweepResult:
+    """Execute every grid point of *suite* as one sharded, cached campaign.
+
+    *seed* and *trials* default to the suite's own values.  Per-point seeds
+    derive from *seed* in grid order before any work is dispatched, so the
+    result is bit-for-bit identical for any *jobs* value **and any cache
+    state**: a cached campaign is the pickled result of the identical
+    ``(spec, seed, trials, code version)`` execution.  *cache* is a cache
+    object from :mod:`repro.cache`, a directory path, or ``None`` (no
+    caching); only cache misses are executed, *jobs* at a time, and fresh
+    results are written back from the parent process.
+
+    Every point returns its **full campaign** (all trial traces) — that is
+    the unit the cache stores and what makes hits bit-identical, and it is
+    exposed as :attr:`SuitePointResult.campaign`.  The cost is that workers
+    ship whole trace sets back to the parent; for paper-scale suites this is
+    a few MB (see the ROADMAP's shared-memory note for the large-trace
+    upgrade path).
+    """
+    from repro.experiments.parallel import RuntimeCampaignResult, parallel_map
+
+    cache = open_cache(cache)
+    stats_before = cache.stats.snapshot()
+    run_seed = suite.seed if seed is None else seed
+    run_trials = suite.trials if trials is None else trials
+    if run_trials < 1:
+        raise ValueError(f"trials must be >= 1, got {run_trials}")
+    specs = suite.points()
+    rng = ensure_rng(run_seed)
+    seeds = [derive_seed(rng) for _ in specs]
+    # with caching off there is nothing to address: skip the hashing and the
+    # probe loop entirely so a cacheless run carries all-zero stats.
+    keys = (
+        [
+            campaign_key(spec, point_seed, run_trials)
+            for spec, point_seed in zip(specs, seeds)
+        ]
+        if cache.enabled
+        else [None] * len(specs)
+    )
+    campaigns: list = [MISS] * len(specs)
+    miss_indices: list[int] = []
+    for i, key in enumerate(keys):
+        value = (
+            cache.get(key, expect=RuntimeCampaignResult) if key is not None else MISS
+        )
+        if value is MISS:
+            miss_indices.append(i)
+        else:
+            campaigns[i] = value
+    executed = parallel_map(
+        partial(_run_suite_point, trials=run_trials),
+        [(specs[i], seeds[i]) for i in miss_indices],
+        jobs=jobs,
+    )
+    for i, campaign in zip(miss_indices, executed):
+        if keys[i] is not None:
+            cache.put(keys[i], campaign)
+        campaigns[i] = campaign
+    missed = set(miss_indices)
+    points = tuple(
+        SuitePointResult(
+            spec=spec, seed=point_seed, campaign=campaign, cached=i not in missed
+        )
+        for i, (spec, point_seed, campaign) in enumerate(
+            zip(specs, seeds, campaigns)
+        )
+    )
+    after = cache.stats
+    return SweepResult(
+        suite=suite,
+        seed=run_seed,
+        trials=run_trials,
+        points=points,
+        # this run's accounting, even on a cache shared across runs
+        cache_stats=CacheStats(
+            hits=after.hits - stats_before.hits,
+            misses=after.misses - stats_before.misses,
+            errors=after.errors - stats_before.errors,
+            writes=after.writes - stats_before.writes,
+        ),
+        cache_enabled=cache.enabled,
+    )
+
+
+# ------------------------------------------------------- failure-regime sweep
 @dataclass(frozen=True)
 class SweepPoint:
     """One failure regime of the sweep and its campaign statistics."""
@@ -72,13 +385,19 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class RuntimeSweepResult:
-    """All grid points of one sweep, in grid order."""
+    """All grid points of one failure-regime sweep, in grid order.
+
+    ``sweep`` carries the generic :class:`SweepResult` this run was executed
+    through (pivoting helpers, cache accounting); the flat fields keep the
+    historical report shape.
+    """
 
     spec: ScenarioSpec
     seed: int
     trials: int
     mttf_grid: tuple[float, ...]
     points: tuple[SweepPoint, ...]
+    sweep: "SweepResult | None" = None
 
     def figure(self, metric: str) -> FigureSeries:
         """One panel: *metric* vs mttf, one curve per (mttr, shape) combo."""
@@ -107,24 +426,6 @@ class RuntimeSweepResult:
         return [self.figure(metric) for metric in SWEEP_METRICS]
 
 
-def _run_sweep_point(
-    item: tuple[ScenarioSpec, int],
-    trials: int,
-) -> SweepPoint:
-    """Run the Monte-Carlo campaign of one grid point (one process each)."""
-    from repro.experiments.parallel import run_runtime_campaign
-
-    point_spec, seed = item
-    result = run_runtime_campaign(point_spec, trials=trials, seed=seed, jobs=1)
-    return SweepPoint(
-        mttf_periods=point_spec.faults.mttf_periods,
-        mttr_periods=point_spec.faults.mttr_periods,
-        shape=point_spec.faults.weibull_shape,
-        seed=seed,
-        stats=result.stats,
-    )
-
-
 def run_runtime_sweep(
     spec: Union[ScenarioSpec, RuntimeTrialSpec],
     mttf_grid: tuple[float, ...] = (50.0, 100.0, 200.0, 400.0),
@@ -133,13 +434,17 @@ def run_runtime_sweep(
     trials: int = 10,
     seed: int = 0,
     jobs: int | None = 1,
+    cache=None,
 ) -> RuntimeSweepResult:
     """Sweep the failure-regime grid; deterministic for any *jobs* value.
 
-    The grid is the :meth:`ScenarioSpec.grid <repro.scenario.spec.
-    ScenarioSpec.grid>` product over :data:`SWEEP_AXES` — ordered mttf-major →
-    mttr → shape; every point's campaign seed is derived from *seed* in that
-    order before any work is dispatched.
+    Since the suite layer this is a thin adapter: the grid is the
+    :class:`~repro.scenario.suite.SuiteSpec` over :data:`SWEEP_AXES` — ordered
+    mttf-major → mttr → shape — executed by :func:`run_suite` (every point's
+    campaign seed derived from *seed* in grid order before any work is
+    dispatched, results bit-identical to the historical direct
+    implementation).  *cache* enables spec-hash result caching exactly as in
+    :func:`run_suite`.
     """
     if not mttf_grid or not shapes:
         raise ValueError("mttf_grid and shapes must be non-empty")
@@ -156,19 +461,31 @@ def run_runtime_sweep(
             stacklevel=2,
         )
         spec = spec.to_scenario()
-    from repro.experiments.parallel import parallel_map
-
-    base = spec.updated({"faults.distribution": "weibull"})
-    point_specs = base.grid(
-        dict(zip(SWEEP_AXES, (tuple(mttf_grid), tuple(mttr_grid), tuple(shapes))))
+    suite = SuiteSpec(
+        base=spec.updated({"faults.distribution": "weibull"}),
+        axes=dict(
+            zip(SWEEP_AXES, (tuple(mttf_grid), tuple(mttr_grid), tuple(shapes)))
+        ),
+        name=f"{spec.name}-failure-regimes",
+        trials=trials,
+        seed=seed,
     )
-    rng = ensure_rng(seed)
-    items = [(point, derive_seed(rng)) for point in point_specs]
-    points = parallel_map(partial(_run_sweep_point, trials=trials), items, jobs=jobs)
+    result = run_suite(suite, jobs=jobs, cache=cache)
+    points = tuple(
+        SweepPoint(
+            mttf_periods=point.spec.faults.mttf_periods,
+            mttr_periods=point.spec.faults.mttr_periods,
+            shape=point.spec.faults.weibull_shape,
+            seed=point.seed,
+            stats=point.stats,
+        )
+        for point in result.points
+    )
     return RuntimeSweepResult(
         spec=spec,
         seed=seed,
         trials=trials,
         mttf_grid=tuple(float(m) for m in mttf_grid),
-        points=tuple(points),
+        points=points,
+        sweep=result,
     )

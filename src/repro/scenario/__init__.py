@@ -11,6 +11,8 @@ scenario a first-class object instead of an argument list:
 * :mod:`repro.scenario.serialize` — dict/JSON (de)serialization with
   actionable schema errors;
 * :mod:`repro.scenario.grid` — axis-dict → spec-list expansion for sweeps;
+* :mod:`repro.scenario.suite` — :class:`SuiteSpec`, one JSON file describing a
+  whole sweep campaign (base spec + axes + trials + seed);
 * :mod:`repro.scenario.registries` — name → factory registries for workload
   generators, platform builders and schedulers (pure-data specs reference
   components by name);
@@ -21,7 +23,7 @@ The user-facing entry point is the :class:`repro.api.Session` facade; sweeps
 and campaigns consume specs directly.
 """
 
-from repro.scenario.grid import apply_changes, expand_grid
+from repro.scenario.grid import apply_changes, expand_grid, normalize_axis
 from repro.scenario.registries import (
     PLATFORM_BUILDERS,
     SCHEDULERS,
@@ -44,9 +46,11 @@ from repro.scenario.spec import (
     SchedulerSpec,
     WorkloadSpec,
 )
+from repro.scenario.suite import SuiteSpec
 
 __all__ = [
     "ScenarioSpec",
+    "SuiteSpec",
     "WorkloadSpec",
     "SchedulerSpec",
     "FaultSpec",
@@ -55,6 +59,7 @@ __all__ = [
     "spec_from_dict",
     "apply_changes",
     "expand_grid",
+    "normalize_axis",
     "WORKLOAD_GENERATORS",
     "PLATFORM_BUILDERS",
     "SCHEDULERS",

@@ -339,10 +339,19 @@ class ScenarioSpec:
     def updated(self, changes: Mapping[str, object]) -> "ScenarioSpec":
         """A copy with dotted-path overrides applied.
 
-        ``spec.updated({"faults.mttf_periods": 60, "runtime.policy": "remap"})``
-        replaces individual leaf fields; ``"name"`` addresses the top level.
-        Unknown paths raise :class:`~repro.exceptions.SpecificationError` with
-        close-match suggestions.
+        Dotted paths replace individual leaf fields; ``"name"`` addresses the
+        top level.  Unknown paths raise
+        :class:`~repro.exceptions.SpecificationError` with close-match
+        suggestions, and the copy revalidates as a whole.
+
+        >>> spec = ScenarioSpec().updated({
+        ...     "faults.mttf_periods": 60,
+        ...     "runtime.policy": "remap",
+        ... })
+        >>> spec.faults.mttf_periods
+        60.0
+        >>> spec.runtime.policy
+        'remap'
         """
         from repro.scenario.grid import apply_changes
 
@@ -376,7 +385,14 @@ class ScenarioSpec:
 
     # ---------------------------------------------------------- serialization
     def to_dict(self) -> dict:
-        """Plain nested dict (JSON types only), round-tripping via from_dict."""
+        """Plain nested dict (JSON types only), round-tripping via from_dict.
+
+        The round trip is exact — it is what makes specs content-addressable
+        for the result cache (:mod:`repro.cache`).
+
+        >>> ScenarioSpec.from_dict(ScenarioSpec().to_dict()) == ScenarioSpec()
+        True
+        """
         from repro.scenario.serialize import spec_to_dict
 
         return spec_to_dict(self)

@@ -1,0 +1,285 @@
+"""Scenario suites: one file describing a whole sweep campaign.
+
+A :class:`SuiteSpec` is a base :class:`~repro.scenario.spec.ScenarioSpec` plus
+named *axes* — dotted spec paths mapped to value lists — plus the campaign
+parameters (trials per point, campaign seed).  It is the declarative form of
+"sweep these axes of this scenario": the grid points are the cartesian product
+of the axes applied to the base (first axis major, exactly
+:meth:`ScenarioSpec.grid <repro.scenario.spec.ScenarioSpec.grid>`), each point
+runs as one seeded Monte-Carlo campaign, and the whole suite executes as a
+single sharded campaign through :func:`repro.experiments.sweep.run_suite`, the
+:meth:`Session.sweep <repro.api.Session.sweep>` facade, or ``repro-streaming
+suite run suite.json``.
+
+Like scenarios, suites are pure data with an exact JSON round-trip, so a suite
+file *is* the experiment definition::
+
+    {
+      "schema": 1,
+      "name": "failure-regimes",
+      "trials": 10,
+      "seed": 0,
+      "base": {"workload": {"num_tasks": 15, "num_processors": 6},
+               "scheduler": {"epsilon": 1}},
+      "axes": {"faults.mttf_periods": [50, 100, 200],
+               "faults.mttr_periods": [null, 25]}
+    }
+
+Axis order matters — it fixes the grid order and therefore the per-point seed
+derivation — and JSON objects preserve it.
+
+>>> suite = SuiteSpec(axes={"faults.mttf_periods": [50.0, 100.0]}, trials=5)
+>>> len(suite.points())
+2
+>>> SuiteSpec.from_json(suite.to_json()) == suite
+True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.exceptions import SpecificationError
+from repro.scenario.grid import expand_grid, normalize_axis
+from repro.scenario.serialize import SCHEMA_VERSION, spec_from_dict, spec_to_dict
+from repro.scenario.spec import ScenarioSpec, _spec_paths
+
+__all__ = ["SuiteSpec"]
+
+_TOP_LEVEL_KEYS = ("schema", "name", "trials", "seed", "base", "axes")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecificationError(message)
+
+
+def _set(obj, name: str, value) -> None:
+    object.__setattr__(obj, name, value)
+
+
+@dataclass(frozen=True, eq=False)
+class SuiteSpec:
+    """One sweep campaign: a base scenario, named axes, trials and a seed.
+
+    ``axes`` maps dotted spec paths (``"faults.mttf_periods"``) to non-empty
+    value lists; the declared order is the grid order (first axis slowest).
+    Treat the dict as read-only — like the ``options`` dicts of the scenario
+    sections, it is plain data on a frozen spec.  ``trials`` is the
+    Monte-Carlo campaign size of every grid point and ``seed`` the campaign
+    seed the per-point seeds derive from — both are defaults the runner can
+    override at execution time.
+
+    Equality is **axis-order sensitive** (hand-written, not the dataclass
+    dict comparison): axis order fixes the grid order and therefore the
+    per-point seed derivation, so two suites differing only in axis order
+    produce different results and must not compare equal.
+    """
+
+    base: ScenarioSpec = field(default_factory=ScenarioSpec)
+    axes: dict = field(default_factory=dict)
+    name: str = "suite"
+    trials: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.base, Mapping):
+            _set(self, "base", spec_from_dict(self.base))
+        elif not isinstance(self.base, ScenarioSpec):
+            raise SpecificationError(
+                f"suite base must be a ScenarioSpec or a mapping, "
+                f"got {type(self.base).__name__}"
+            )
+        _require(
+            isinstance(self.axes, Mapping),
+            f"suite axes must be a mapping of dotted paths to value lists, "
+            f"got {type(self.axes).__name__}",
+        )
+        valid_paths = set(_spec_paths())
+        axes: dict[str, tuple] = {}
+        for path, values in self.axes.items():
+            if path not in valid_paths:
+                from repro.utils.registry import close_matches_hint
+
+                raise SpecificationError(
+                    f"unknown suite axis {path!r} (axes are 'section.field' "
+                    f"like 'faults.mttf_periods')"
+                    f"{close_matches_hint(path, valid_paths)}"
+                )
+            axes[path] = normalize_axis(path, values)
+        _set(self, "axes", axes)
+        _require(
+            isinstance(self.name, str) and bool(self.name),
+            f"suite name must be a non-empty string, got {self.name!r}",
+        )
+        # bool is an int subclass: "trials": true must not mean 1 trial
+        _require(
+            isinstance(self.trials, int)
+            and not isinstance(self.trials, bool)
+            and self.trials >= 1,
+            f"suite trials must be an int >= 1, got {self.trials!r}",
+        )
+        _require(
+            isinstance(self.seed, int)
+            and not isinstance(self.seed, bool)
+            and self.seed >= 0,
+            f"suite seed must be a non-negative int, got {self.seed!r}",
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SuiteSpec):
+            return NotImplemented
+        return (
+            self.base == other.base
+            and tuple(self.axes.items()) == tuple(other.axes.items())
+            and self.name == other.name
+            and self.trials == other.trials
+            and self.seed == other.seed
+        )
+
+    __hash__ = None  # axes are a dict; suites are not hashable
+
+    # --------------------------------------------------------------- expansion
+    @property
+    def num_points(self) -> int:
+        """Grid size: the product of the axis lengths (1 with no axes)."""
+        count = 1
+        for values in self.axes.values():
+            count *= len(values)
+        return count
+
+    def axis_values(self, path: str) -> tuple:
+        """The declared values of one axis (raises for non-axes)."""
+        if path not in self.axes:
+            raise SpecificationError(
+                f"{path!r} is not an axis of suite {self.name!r} "
+                f"(axes: {list(self.axes)})"
+            )
+        return self.axes[path]
+
+    def points(self) -> list[ScenarioSpec]:
+        """Every grid point as a validated spec, in grid order.
+
+        >>> suite = SuiteSpec(axes={"faults.mttf_periods": [50.0, 100.0],
+        ...                         "faults.mttr_periods": [None, 25.0]})
+        >>> [p.faults.mttf_periods for p in suite.points()]
+        [50.0, 50.0, 100.0, 100.0]
+        """
+        return expand_grid(self.base, self.axes)
+
+    def smoke(
+        self,
+        max_axis_values: int = 2,
+        max_datasets: int = 20,
+        trials: int = 1,
+    ) -> "SuiteSpec":
+        """A shrunken copy for CI smoke runs: same shape, a fraction of the cost.
+
+        Every axis is truncated to its first *max_axis_values* values, the
+        stream is capped at *max_datasets* data sets — including a
+        ``runtime.num_datasets`` *axis*, whose values are capped (and
+        deduplicated) too — and every point runs *trials* trials: the
+        configuration path is exercised end to end without the full
+        Monte-Carlo cost.
+        """
+        base = self.base.updated(
+            {"runtime.num_datasets": min(self.base.runtime.num_datasets, max_datasets)}
+        )
+        axes: dict[str, tuple] = {}
+        for path, values in self.axes.items():
+            if path == "runtime.num_datasets":
+                # cap each value, then dedupe (capping may collapse values,
+                # and duplicate axis values are rejected) keeping first-seen
+                # order
+                capped = dict.fromkeys(min(v, max_datasets) for v in values)
+                values = tuple(capped)
+            axes[path] = values[:max_axis_values]
+        return replace(self, base=base, axes=axes, trials=trials)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        """Plain nested dict (JSON types only), round-tripping via from_dict."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "name": self.name,
+            "trials": self.trials,
+            "seed": self.seed,
+            "base": spec_to_dict(self.base),
+            "axes": {path: list(values) for path, values in self.axes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SuiteSpec":
+        """Build a suite from a nested mapping, validating keys and values."""
+        if not isinstance(data, Mapping):
+            raise SpecificationError(
+                f"a suite must be a JSON object, got {type(data).__name__}"
+            )
+        from repro.utils.registry import close_matches_hint
+
+        kwargs: dict = {}
+        for key, value in data.items():
+            if key not in _TOP_LEVEL_KEYS:
+                hint = close_matches_hint(key, _TOP_LEVEL_KEYS)
+                extra = (
+                    " (is this a scenario file? run it with "
+                    "'repro-streaming run', or wrap it under a 'base' key)"
+                    if key in ("workload", "scheduler", "faults", "runtime")
+                    else ""
+                )
+                raise SpecificationError(
+                    f"unknown suite key {key!r}, expected one of "
+                    f"{sorted(_TOP_LEVEL_KEYS)}{hint}{extra}"
+                )
+            if key == "schema":
+                if value not in (SCHEMA_VERSION,):
+                    raise SpecificationError(
+                        f"unsupported suite schema version {value!r} "
+                        f"(this library reads version {SCHEMA_VERSION})"
+                    )
+                continue
+            kwargs[key] = value
+        return cls(**kwargs)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON document of the suite (the on-disk suite-file format)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SuiteSpec":
+        """Parse a JSON document produced by :meth:`to_json` (or by hand)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecificationError(f"suite is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "SuiteSpec":
+        """Load a suite from a JSON file (``suite.json``)."""
+        return cls.from_json(Path(path).read_text())
+
+    def save(self, path: str | Path) -> None:
+        """Write the suite to *path* as JSON."""
+        Path(path).write_text(self.to_json() + "\n")
+
+    # ----------------------------------------------------------------- display
+    def describe(self, trials: int | None = None, seed: int | None = None) -> str:
+        """One-line human summary (used by the CLI and reports).
+
+        *trials* / *seed* override the displayed values — the runner passes
+        the values a run actually executed with, which ``--trials``/``--seed``
+        may have changed from the suite's declared defaults.
+        """
+        axes = " × ".join(
+            f"{path}[{len(values)}]" for path, values in self.axes.items()
+        ) or "no axes"
+        return (
+            f"{self.name}: {self.num_points} points ({axes}), "
+            f"{self.trials if trials is None else trials} trials/point, "
+            f"seed {self.seed if seed is None else seed} — "
+            f"base {self.base.describe()}"
+        )

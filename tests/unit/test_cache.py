@@ -1,0 +1,260 @@
+"""Correctness of the spec-hash result cache (`repro.cache`).
+
+The acceptance bar of the caching layer: a hit is **bit-identical** to a cold
+run, editing *any* spec field or the seed misses, ``--no-cache`` bypasses,
+and corrupted entries are discarded, never trusted.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.api import Session
+from repro.cache import (
+    MISS,
+    CacheStats,
+    DiskCache,
+    NullCache,
+    campaign_key,
+    canonical_json,
+    open_cache,
+    result_key,
+)
+from repro.cache import keys as cache_keys
+from repro.experiments.parallel import RuntimeCampaignResult, run_runtime_campaign
+from repro.scenario import ScenarioSpec
+
+SPEC = ScenarioSpec.from_dict(
+    {
+        "workload": {"num_tasks": 10, "num_processors": 5},
+        "scheduler": {"epsilon": 1},
+        "faults": {"mttf_periods": 40.0},
+        "runtime": {"num_datasets": 15},
+    }
+)
+
+
+class TestKeys:
+    def test_key_is_deterministic_and_order_independent(self):
+        a = result_key("campaign", SPEC, 3, trials=2)
+        b = result_key("campaign", ScenarioSpec.from_dict(SPEC.to_dict()), 3, trials=2)
+        assert a == b
+        assert len(a) == 64 and set(a) <= set("0123456789abcdef")
+
+    def test_canonical_json_sorts_keys_and_normalizes_tuples(self):
+        assert canonical_json({"b": 1, "a": (1, 2)}) == '{"a":[1,2],"b":1}'
+
+    def test_canonical_json_rejects_non_json_values(self):
+        with pytest.raises(TypeError, match="JSON types"):
+            canonical_json({"x": object()})
+        with pytest.raises(TypeError, match="string dict keys"):
+            canonical_json({1: "x"})
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_seed_and_kind_and_extra_change_the_key(self):
+        base = result_key("campaign", SPEC, 3, trials=2)
+        assert result_key("campaign", SPEC, 4, trials=2) != base
+        assert result_key("online", SPEC, 3, trials=2) != base
+        assert result_key("campaign", SPEC, 3, trials=3) != base
+
+    @pytest.mark.parametrize(
+        "path, value",
+        [
+            ("name", "other"),
+            ("workload.num_tasks", 11),
+            ("workload.granularity", 2.0),
+            ("scheduler.epsilon", 0),
+            ("scheduler.period_slack", 3.0),
+            ("faults.mttf_periods", 41.0),
+            ("faults.mttr_periods", 10.0),
+            ("faults.distribution", "weibull"),
+            ("runtime.num_datasets", 16),
+            ("runtime.policy", "remap"),
+            ("runtime.checkpoint", False),
+        ],
+    )
+    def test_editing_any_spec_field_changes_the_key(self, path, value):
+        base = campaign_key(SPEC, 3, 2)
+        assert campaign_key(SPEC.updated({path: value}), 3, 2) != base
+
+    def test_code_version_is_part_of_the_key(self, monkeypatch):
+        base = campaign_key(SPEC, 3, 2)
+        monkeypatch.setattr(cache_keys, "cache_code_version", lambda: "999.0.0")
+        assert campaign_key(SPEC, 3, 2) != base
+
+
+class TestDiskCache:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = result_key("unit", SPEC, 0)
+        value = {"nested": (1.5, None), "spec": SPEC}
+        cache.put(key, value)
+        loaded = cache.get(key)
+        assert loaded == value
+        assert pickle.dumps(loaded) == pickle.dumps(value)
+        assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+    def test_unknown_key_misses(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get("ab" * 32) is MISS
+        assert cache.stats.misses == 1 and cache.stats.errors == 0
+
+    @pytest.mark.parametrize(
+        "corruption",
+        ["truncate", "garbage", "flip-checksum", "bad-magic", "wrong-key"],
+    )
+    def test_corrupted_entries_are_discarded_not_trusted(self, tmp_path, corruption):
+        cache = DiskCache(tmp_path)
+        key = result_key("unit", SPEC, 1)
+        cache.put(key, [1, 2, 3])
+        path = cache.path_of(key)
+        blob = path.read_bytes()
+        if corruption == "truncate":
+            path.write_bytes(blob[: len(blob) // 2])
+        elif corruption == "garbage":
+            path.write_bytes(b"not a cache entry at all")
+        elif corruption == "flip-checksum":
+            path.write_bytes(blob[:-3] + bytes([blob[-3] ^ 0xFF]) + blob[-2:])
+        elif corruption == "bad-magic":
+            path.write_bytes(b"X" + blob[1:])
+        elif corruption == "wrong-key":
+            other = result_key("unit", SPEC, 2)
+            cache.put(other, [9])
+            path.write_bytes(cache.path_of(other).read_bytes())
+        assert cache.get(key) is MISS
+        assert cache.stats.errors >= 1
+        assert not path.exists(), "untrustworthy entry must be deleted"
+        # the slot is reusable after the discard
+        cache.put(key, [4, 5])
+        assert cache.get(key) == [4, 5]
+
+    def test_transient_read_error_misses_without_deleting(self, tmp_path, monkeypatch):
+        """An EIO-style read failure must not destroy a valid entry."""
+        from pathlib import Path
+
+        cache = DiskCache(tmp_path)
+        key = result_key("unit", SPEC, 8)
+        cache.put(key, [1, 2])
+        path = cache.path_of(key)
+        real_read = Path.read_bytes
+
+        def flaky_read(self):
+            if self == path:
+                raise OSError(5, "Input/output error")
+            return real_read(self)
+
+        monkeypatch.setattr(Path, "read_bytes", flaky_read)
+        assert cache.get(key) is MISS
+        monkeypatch.undo()
+        assert path.exists(), "transient failure must not unlink the entry"
+        assert cache.stats.errors == 1
+        assert cache.get(key) == [1, 2]  # readable again → served
+
+    def test_expected_type_mismatch_is_treated_as_corruption(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = result_key("unit", SPEC, 3)
+        cache.put(key, "a string, not a campaign")
+        assert cache.get(key, expect=RuntimeCampaignResult) is MISS
+        assert cache.stats.errors == 1
+        assert not cache.path_of(key).exists()
+
+    def test_unpicklable_value_is_counted_not_raised(self, tmp_path):
+        """put() must never kill a campaign — pickle raises TypeError (not
+        PicklingError) for values like thread locks."""
+        import threading
+
+        cache = DiskCache(tmp_path)
+        key = result_key("unit", SPEC, 9)
+        cache.put(key, {"lock": threading.Lock()})
+        assert cache.stats.errors == 1 and cache.stats.writes == 0
+        assert cache.get(key) is MISS
+
+    def test_null_cache_never_stores(self):
+        cache = NullCache()
+        cache.put("ab" * 32, [1])
+        assert cache.get("ab" * 32) is MISS
+        assert cache.stats.hits == 0 and cache.stats.misses == 1
+        assert not cache.enabled
+
+    def test_open_cache_coercions(self, tmp_path):
+        assert isinstance(open_cache(None), NullCache)
+        assert isinstance(open_cache(tmp_path, enabled=False), NullCache)
+        disk = open_cache(tmp_path)
+        assert isinstance(disk, DiskCache) and disk.root == tmp_path
+        assert open_cache(disk) is disk
+
+    def test_open_cache_passes_through_custom_backends(self):
+        """Any object with get/put (a future S3/HTTP backend) passes through."""
+
+        class MemoryCache:
+            enabled = True
+
+            def __init__(self):
+                self.stats = CacheStats()
+                self.store = {}
+
+            def get(self, key, expect=None):
+                if key in self.store:
+                    self.stats.hits += 1
+                    return self.store[key]
+                self.stats.misses += 1
+                return MISS
+
+            def put(self, key, value):
+                self.store[key] = value
+
+        backend = MemoryCache()
+        assert open_cache(backend) is backend
+        # and it works end-to-end through a campaign
+        cold = run_runtime_campaign(SPEC, trials=1, seed=0, cache=backend)
+        warm = run_runtime_campaign(SPEC, trials=1, seed=0, cache=backend)
+        assert warm == cold and backend.stats.hits == 1
+
+    def test_stats_accounting(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+        snap = stats.snapshot()
+        stats.hits += 1
+        assert snap.hits == 3
+        assert "75% hit rate" in stats.describe() or "80% hit rate" in stats.describe()
+
+
+class TestCampaignCaching:
+    def test_hit_returns_bit_identical_result_to_a_cold_run(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cold = run_runtime_campaign(SPEC, trials=2, seed=5, cache=cache)
+        warm = run_runtime_campaign(SPEC, trials=2, seed=5, cache=cache)
+        uncached = run_runtime_campaign(SPEC, trials=2, seed=5)
+        assert warm == cold == uncached
+        assert pickle.dumps(warm) == pickle.dumps(uncached)
+        assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+    def test_editing_spec_or_seed_misses(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        run_runtime_campaign(SPEC, trials=2, seed=5, cache=cache)
+        run_runtime_campaign(SPEC, trials=2, seed=6, cache=cache)
+        run_runtime_campaign(
+            SPEC.updated({"faults.mttf_periods": 50.0}), trials=2, seed=5, cache=cache
+        )
+        assert cache.stats.hits == 0
+        assert cache.stats.writes == 3
+
+    def test_no_cache_bypasses(self, tmp_path):
+        null = NullCache()
+        run_runtime_campaign(SPEC, trials=2, seed=5, cache=null)
+        run_runtime_campaign(SPEC, trials=2, seed=5, cache=null)
+        assert null.stats.hits == 0
+        # and a NullCache never touched the disk path at all
+        disk = DiskCache(tmp_path)
+        assert disk.get(campaign_key(SPEC, 5, 2)) is MISS
+
+    def test_session_monte_carlo_accepts_a_cache(self, tmp_path):
+        session = Session(SPEC)
+        cold = session.monte_carlo(trials=2, seed=1, cache=tmp_path)
+        warm = session.monte_carlo(trials=2, seed=1, cache=tmp_path)
+        assert warm.campaign == cold.campaign
+        assert warm.summary() == cold.summary()

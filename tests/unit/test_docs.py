@@ -1,0 +1,96 @@
+"""The docs build/link check: the docs/ tree and README must stay coherent.
+
+This is what the CI docs job runs: every relative markdown link must resolve
+to a real file (with a real heading when it carries an anchor), the JSON
+examples shipped under examples/ must parse as valid scenario/suite files,
+and the schema reference in docs/scenarios.md must name every spec field —
+a field added to the dataclasses without a docs row fails here.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import fields
+from pathlib import Path
+
+import pytest
+
+from repro.scenario.spec import SECTION_TYPES, ScenarioSpec
+from repro.scenario.suite import SuiteSpec
+
+REPO = Path(__file__).resolve().parents[2]
+
+MARKDOWN_FILES = [
+    REPO / "README.md",
+    *sorted((REPO / "docs").glob("*.md")),
+]
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def _anchor_of(heading: str) -> str:
+    """GitHub-style anchor of a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"\s+", "-", slug)
+
+
+def _relative_links(text: str):
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+def test_docs_tree_exists():
+    assert (REPO / "docs" / "architecture.md").is_file()
+    assert (REPO / "docs" / "scenarios.md").is_file()
+
+
+@pytest.mark.parametrize("path", MARKDOWN_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(path):
+    text = path.read_text()
+    broken = []
+    for target in _relative_links(text):
+        file_part, _, anchor = target.partition("#")
+        dest = (path.parent / file_part).resolve() if file_part else path
+        if not dest.exists():
+            broken.append(target)
+            continue
+        if anchor and dest.suffix == ".md":
+            anchors = {_anchor_of(h) for h in _HEADING.findall(dest.read_text())}
+            if anchor not in anchors:
+                broken.append(target)
+    assert not broken, f"{path.name}: broken links {broken}"
+
+
+def test_readme_links_the_docs_tree():
+    text = (REPO / "README.md").read_text()
+    assert "docs/architecture.md" in text
+    assert "docs/scenarios.md" in text
+
+
+def test_example_scenario_parses():
+    spec = ScenarioSpec.from_file(REPO / "examples" / "scenario.json")
+    assert spec.name
+
+
+def test_example_suite_parses_and_expands():
+    suite = SuiteSpec.from_file(REPO / "examples" / "suite.json")
+    assert suite.num_points == len(suite.points()) >= 2
+
+
+def test_scenarios_reference_covers_every_spec_field():
+    """docs/scenarios.md must document every field of every spec section."""
+    text = (REPO / "docs" / "scenarios.md").read_text()
+    missing = [
+        f"{section}.{spec_field.name}"
+        for section, cls in SECTION_TYPES.items()
+        for spec_field in fields(cls)
+        if f"`{spec_field.name}`" not in text
+    ]
+    assert not missing, f"docs/scenarios.md misses spec fields: {missing}"
+    for key in ("trials", "seed", "base", "axes"):
+        assert f"`{key}`" in text, f"docs/scenarios.md misses suite key {key!r}"

@@ -1,0 +1,50 @@
+"""The doctest step: every example in the public-API docstrings must run.
+
+The docs satellite of the suite/cache PR wires the runnable examples of the
+``Session`` facade, the spec tree, the suite layer and the cache into the
+test suite (and the CI docs job) so they cannot rot.  Each module must not
+only pass its doctests but *have* some — an accidentally deleted example
+block fails here instead of silently shrinking the docs.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.api
+import repro.cache
+import repro.cache.disk
+import repro.cache.keys
+import repro.scenario.spec
+import repro.scenario.suite
+import repro.utils.rng
+
+DOCUMENTED_MODULES = [
+    repro.api,
+    repro.cache,
+    repro.cache.keys,
+    repro.scenario.spec,
+    repro.scenario.suite,
+    repro.utils.rng,
+]
+
+#: modules whose docstrings are prose-only today; they still must *pass*.
+PROSE_ONLY_MODULES = [repro.cache.disk]
+
+
+@pytest.mark.parametrize(
+    "module", DOCUMENTED_MODULES + PROSE_ONLY_MODULES, ids=lambda m: m.__name__
+)
+def test_doctests_pass(module):
+    results = doctest.testmod(
+        module, verbose=False, optionflags=doctest.NORMALIZE_WHITESPACE
+    )
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+
+
+@pytest.mark.parametrize("module", DOCUMENTED_MODULES, ids=lambda m: m.__name__)
+def test_examples_exist(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its runnable examples"
