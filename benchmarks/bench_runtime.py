@@ -12,23 +12,36 @@ Two layers:
 
   It times the same workloads (fewer repetitions with ``--smoke``) and writes
   a JSON report so the perf trajectory of the runtime is recorded per commit.
-  The headline number is ``incremental_speedup_multisegment``: how much faster
-  the single-loop incremental engine executes a stream cut into many fault
-  segments (≥ 5 fault events) than the flush-and-restart baseline, which pays
-  a pipeline setup + cold restart per segment.
+  The headline numbers:
+
+  * ``incremental_speedup_multisegment`` — how much faster the single-loop
+    incremental engine executes a stream cut into many fault segments (≥ 5
+    fault events) than the flush-and-restart baseline, which pays a pipeline
+    setup + cold restart per segment;
+  * ``long_stream_datasets_per_sec`` — sustained throughput of the
+    constant-memory kernel fast path on a long (10⁵ data sets at full scale)
+    zero-fault stream: the number CI's trajectory gate watches for
+    regressions (see ``benchmarks/bench_trajectory.py``);
+  * ``sweep_transport_bytes`` — pickled campaign payload per sweep point in
+    ``reduce="traces"`` vs ``reduce="stats"`` worker mode: the bytes a worker
+    ships back through the process pool for one grid point;
+  * ``chunksize`` — ``parallel_map`` wall-clock on many tiny units with the
+    historical ``chunksize=1`` vs the batched default (one pickle round-trip
+    per chunk instead of per unit).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pickle
 import sys
 import time
 from pathlib import Path
 
 from repro.core.rltf import rltf_schedule
 from repro.experiments.config import ExperimentConfig, workload_period
-from repro.experiments.parallel import run_runtime_campaign
+from repro.experiments.parallel import parallel_map, run_runtime_campaign
 from repro.failures.scenarios import FaultEvent, FaultTrace
 from repro.graph.generator import random_paper_workload
 from repro.runtime.engine import OnlineRuntime
@@ -73,6 +86,38 @@ def _time(fn, repeat: int = 3) -> float:
     return best
 
 
+def _long_stream_case():
+    """The long-stream workload: the 30-task ε=2 schedule of the kernel-perf
+    work, streamed fault-free through the online runtime (evicting kernel)."""
+    workload = random_paper_workload(1.0, seed=11, num_tasks=30, num_processors=10)
+    period = workload_period(workload, 2, ExperimentConfig())
+    return rltf_schedule(workload.graph, workload.platform, period=period, epsilon=2)
+
+
+def _bench_unit(x: int) -> int:
+    """A deliberately tiny work unit: transport dominates, compute does not."""
+    return x * x
+
+
+def _stats_match(a, b) -> bool:
+    """Field-wise RuntimeStats equality that treats NaN as matching NaN.
+
+    ``mean_latency`` is NaN when no trial completed anything, and dataclass
+    ``==`` would report two such (identical) stats as unequal.
+    """
+    import dataclasses
+    import math
+
+    for spec_field in dataclasses.fields(a):
+        x, y = getattr(a, spec_field.name), getattr(b, spec_field.name)
+        if isinstance(x, float) and isinstance(y, float):
+            if math.isnan(x) and math.isnan(y):
+                continue
+        if x != y:
+            return False
+    return True
+
+
 # --------------------------------------------------------------- script mode
 def run_report(smoke: bool = False) -> dict:
     """Time the benchmark workloads and return the JSON-ready report."""
@@ -97,6 +142,40 @@ def run_report(smoke: bool = False) -> dict:
     incr0 = _time(lambda: OnlineRuntime(schedule, empty, checkpoint=True).run(n), repeat)
     flush0 = _time(lambda: OnlineRuntime(schedule, empty, checkpoint=False).run(n), repeat)
 
+    # --- long-stream throughput of the constant-memory kernel fast path
+    long_n = 20_000 if smoke else 100_000
+    long_schedule = _long_stream_case()
+    long_empty = FaultTrace((), horizon=long_n * long_schedule.period)
+    # min of 2 timed passes: this is the metric CI's trajectory gate hard-fails
+    # on, so one co-tenant hiccup on a shared runner must not read as a
+    # regression (the 30% band covers the rest)
+    long_seconds = _time(
+        lambda: OnlineRuntime(long_schedule, long_empty, checkpoint=True).run(long_n),
+        repeat=2,
+    )
+
+    # --- per-point transport of the two worker reductions
+    transport_spec = SPEC.with_overrides(num_datasets=200).to_scenario()
+    transport_trials = 3 if smoke else 10
+    full = run_runtime_campaign(transport_spec, trials=transport_trials, seed=0)
+    lean = run_runtime_campaign(
+        transport_spec, trials=transport_trials, seed=0, reduce="stats"
+    )
+    if not _stats_match(lean.stats, full.stats):  # the reduction must be lossless
+        raise RuntimeError(
+            "reduce='stats' diverged from reduce='traces' statistics — "
+            "refusing to report transport numbers for non-equivalent payloads"
+        )
+    traces_bytes = len(pickle.dumps(full))
+    stats_bytes = len(pickle.dumps(lean))
+
+    # --- chunksize: many tiny units through a 2-worker pool
+    units = list(range(2_000 if smoke else 10_000))
+    chunk1 = _time(
+        lambda: parallel_map(_bench_unit, units, jobs=2, chunksize=1), repeat
+    )
+    chunk_auto = _time(lambda: parallel_map(_bench_unit, units, jobs=2), repeat)
+
     return {
         "smoke": smoke,
         "campaign": {"trials": trials, "seconds": campaign_seconds},
@@ -113,6 +192,24 @@ def run_report(smoke: bool = False) -> dict:
         },
         "incremental_speedup_multisegment": flush / incr if incr > 0 else float("inf"),
         "incremental_speedup_zero_fault": flush0 / incr0 if incr0 > 0 else float("inf"),
+        "long_stream": {
+            "datasets": long_n,
+            "seconds": long_seconds,
+        },
+        "long_stream_datasets_per_sec": long_n / long_seconds if long_seconds else 0.0,
+        "sweep_transport_bytes": {
+            "datasets": 200,
+            "trials": transport_trials,
+            "traces": traces_bytes,
+            "stats": stats_bytes,
+            "reduction_factor": traces_bytes / stats_bytes if stats_bytes else 0.0,
+        },
+        "chunksize": {
+            "units": len(units),
+            "chunksize_1_seconds": chunk1,
+            "auto_chunksize_seconds": chunk_auto,
+            "speedup": chunk1 / chunk_auto if chunk_auto else 0.0,
+        },
     }
 
 
@@ -124,6 +221,8 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     report = run_report(smoke=args.smoke)
+    transport = report["sweep_transport_bytes"]
+    chunk = report["chunksize"]
     rows = [
         ["campaign (s)", f"{report['campaign']['seconds']:.3f}"],
         ["multi-segment incremental (s)", f"{report['multisegment']['incremental_seconds']:.3f}"],
@@ -132,6 +231,16 @@ def main(argv=None) -> int:
         ["zero-fault incremental (s)", f"{report['zero_fault']['incremental_seconds']:.3f}"],
         ["zero-fault flush (s)", f"{report['zero_fault']['flush_seconds']:.3f}"],
         ["zero-fault speedup", f"{report['incremental_speedup_zero_fault']:.2f}x"],
+        [
+            f"long stream ({report['long_stream']['datasets']:,} data sets)",
+            f"{report['long_stream_datasets_per_sec']:,.0f} datasets/s",
+        ],
+        ["sweep point payload (traces)", f"{transport['traces']:,} B"],
+        ["sweep point payload (stats)", f"{transport['stats']:,} B"],
+        ["transport reduction", f"{transport['reduction_factor']:.1f}x"],
+        [f"chunksize=1 ({chunk['units']:,} tiny units)", f"{chunk['chunksize_1_seconds']:.3f}"],
+        ["auto chunksize", f"{chunk['auto_chunksize_seconds']:.3f}"],
+        ["chunksize speedup", f"{chunk['speedup']:.2f}x"],
     ]
     print(format_table(["benchmark", "value"], rows, title="online runtime benchmark"))
     if args.output:

@@ -183,6 +183,12 @@ class MonteCarloResult(Result):
 
     @property
     def traces(self) -> tuple[RuntimeTrace, ...]:
+        if self.campaign.traces is None:
+            raise ValueError(
+                "this campaign ran with reduce='stats': the traces were "
+                "summarized inside the workers and never shipped back — "
+                "re-run with reduce='traces' to keep them"
+            )
         return self.campaign.traces
 
     @property
@@ -327,15 +333,25 @@ class Session:
         )
 
     def monte_carlo(
-        self, trials: int = 20, seed: int = 0, jobs: int | None = 1, cache=None
+        self,
+        trials: int = 20,
+        seed: int = 0,
+        jobs: int | None = 1,
+        cache=None,
+        reduce: str = "traces",
     ) -> MonteCarloResult:
         """A Monte-Carlo campaign of online runs, ``jobs`` trials at a time.
 
         Child seeds derive up front from *seed*, so the result is bit-for-bit
         identical for any ``jobs`` value.  *cache* (a :mod:`repro.cache`
         object or a directory path) serves the whole campaign from its
-        content address when the identical ``(spec, seed, trials)`` ran
-        before on this code version.
+        content address when the identical ``(spec, seed, trials, reduce)``
+        ran before on this code version.  *reduce* selects the worker
+        payload: ``"traces"`` (default) keeps every trial's full trace,
+        ``"stats"`` summarizes each trace inside the worker so only a few
+        floats per trial cross the process boundary — identical
+        :attr:`~MonteCarloResult.stats`, but :attr:`~MonteCarloResult.traces`
+        is then unavailable.
 
         >>> session = Session.from_dict({
         ...     "workload": {"num_tasks": 12, "num_processors": 6},
@@ -345,13 +361,17 @@ class Session:
         >>> mc = session.monte_carlo(trials=2, seed=1)
         >>> mc.stats.trials
         2
+        >>> lean = session.monte_carlo(trials=2, seed=1, reduce="stats")
+        >>> lean.stats == mc.stats
+        True
         """
         # Imported lazily: the experiments package must not load on import of
         # the facade (it pulls the whole campaign/figure stack).
         from repro.experiments.parallel import run_runtime_campaign
 
         campaign = run_runtime_campaign(
-            self._spec, trials=trials, seed=seed, jobs=jobs, cache=cache
+            self._spec, trials=trials, seed=seed, jobs=jobs, cache=cache,
+            reduce=reduce,
         )
         return MonteCarloResult(spec=self._spec, seed=seed, campaign=campaign)
 
@@ -363,6 +383,7 @@ class Session:
         jobs: int | None = 1,
         cache=None,
         name: str | None = None,
+        reduce: str = "traces",
         **kw_axes,
     ) -> "SweepResult":  # noqa: F821 - imported lazily
         """A grid of Monte-Carlo campaigns over arbitrary spec axes.
@@ -378,9 +399,13 @@ class Session:
         *trials* and *seed* default to 10 and 0 for axis mappings, and to the
         suite's declared values for suites.  *cache* enables spec-hash result
         caching (a :mod:`repro.cache` object or a directory path): points
-        whose ``(spec, seed, trials, code version)`` ran before are served
-        bit-identically from disk, only changed points re-execute, *jobs* at
-        a time.  Returns a :class:`~repro.experiments.sweep.SweepResult`
+        whose ``(spec, seed, trials, reduce, code version)`` ran before are
+        served bit-identically from disk, only changed points re-execute,
+        *jobs* at a time.  *reduce* selects the worker payload: ``"stats"``
+        summarizes every trace inside the worker, so wide sweeps that only
+        read per-point statistics (panels, rows) transfer and cache a few
+        floats per trial instead of full trace pickles.  Returns a
+        :class:`~repro.experiments.sweep.SweepResult`
         whose :meth:`~repro.experiments.sweep.SweepResult.panel` pivots any
         ``(x_axis, metric, y_axis)`` choice into a figure-ready series.
 
@@ -427,4 +452,6 @@ class Session:
                 seed=0 if seed is None else seed,
             )
             trials = seed = None  # the suite now carries the resolved values
-        return run_suite(suite, seed=seed, trials=trials, jobs=jobs, cache=cache)
+        return run_suite(
+            suite, seed=seed, trials=trials, jobs=jobs, cache=cache, reduce=reduce
+        )

@@ -29,7 +29,9 @@ True
 
 from repro.cache.disk import (
     MISS,
+    CacheEntry,
     CacheStats,
+    CacheUsage,
     DiskCache,
     NullCache,
     default_cache_dir,
@@ -41,11 +43,14 @@ from repro.cache.keys import (
     campaign_key,
     canonical_json,
     result_key,
+    source_digest,
 )
 
 __all__ = [
     "MISS",
+    "CacheEntry",
     "CacheStats",
+    "CacheUsage",
     "DiskCache",
     "NullCache",
     "open_cache",
@@ -55,4 +60,5 @@ __all__ = [
     "campaign_key",
     "canonical_json",
     "result_key",
+    "source_digest",
 ]

@@ -33,10 +33,13 @@ import pickle
 import tempfile
 from dataclasses import dataclass, replace
 from pathlib import Path
+from typing import Iterator
 
 __all__ = [
     "MISS",
     "CacheStats",
+    "CacheEntry",
+    "CacheUsage",
     "DiskCache",
     "NullCache",
     "open_cache",
@@ -116,6 +119,28 @@ class CacheStats:
         )
 
 
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one on-disk cache entry (maintenance views only)."""
+
+    key: str
+    path: Path
+    size: int
+    #: last-use instant (seconds since the epoch): hits touch the file, so
+    #: this is a true least-recently-*used* ordering, not creation order.
+    used: float
+
+
+@dataclass(frozen=True)
+class CacheUsage:
+    """Aggregate accounting of a cache directory (``repro-streaming cache ls``)."""
+
+    entries: int
+    total_bytes: int
+    oldest_used: float | None  # last-use instant of the LRU entry
+    newest_used: float | None
+
+
 class NullCache:
     """The no-op cache behind ``--no-cache``: every lookup misses."""
 
@@ -179,6 +204,12 @@ class DiskCache:
         if expect is not None and not isinstance(value, expect):
             return self._discard(path)
         self.stats.hits += 1
+        try:
+            # touch on hit: mtime is the LRU ordering `gc` evicts by, so a
+            # hot entry survives a size-bound collection over a stale one
+            os.utime(path)
+        except OSError:  # pragma: no cover - perms / racing unlink
+            pass
         return value
 
     def _decode(self, key: str, blob: bytes):
@@ -234,6 +265,70 @@ class DiskCache:
             self.stats.errors += 1
             return
         self.stats.writes += 1
+
+    # ------------------------------------------------------------- maintenance
+    def entries(self) -> Iterator[CacheEntry]:
+        """Every entry currently on disk (no particular order).
+
+        Only well-formed entry files (``<2-hex>/<64-hex>.pkl``) are listed;
+        stray files are ignored, never deleted.  Entries racing a concurrent
+        unlink are skipped.
+        """
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            for path in sorted(shard.glob("*.pkl")):
+                key = path.stem
+                if len(key) != 64 or not key.startswith(shard.name):
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                yield CacheEntry(
+                    key=key, path=path, size=stat.st_size, used=stat.st_mtime
+                )
+
+    def usage(self) -> CacheUsage:
+        """Aggregate entry count / byte total / last-use range of the cache."""
+        count = total = 0
+        oldest: float | None = None
+        newest: float | None = None
+        for entry in self.entries():
+            count += 1
+            total += entry.size
+            oldest = entry.used if oldest is None else min(oldest, entry.used)
+            newest = entry.used if newest is None else max(newest, entry.used)
+        return CacheUsage(
+            entries=count, total_bytes=total, oldest_used=oldest, newest_used=newest
+        )
+
+    def gc(self, max_bytes: int) -> list[CacheEntry]:
+        """Evict least-recently-used entries until the cache fits *max_bytes*.
+
+        Entries are removed oldest-``used`` first (lookup hits touch their
+        file, so recently served results survive) until the remaining total
+        is at or under the bound; the evicted entries are returned, in
+        eviction order.  ``max_bytes=0`` empties the cache.  Losing an entry
+        is always safe — the next lookup recomputes it.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = sorted(self.entries(), key=lambda e: (e.used, e.key))
+        total = sum(e.size for e in entries)
+        evicted: list[CacheEntry] = []
+        for entry in entries:
+            if total <= max_bytes:
+                break
+            try:
+                entry.path.unlink()
+            except OSError:  # pragma: no cover - racing unlink / perms
+                continue
+            total -= entry.size
+            evicted.append(entry)
+        return evicted
 
 
 def open_cache(cache_dir: str | Path | None, enabled: bool = True):

@@ -18,11 +18,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+from functools import lru_cache
+from pathlib import Path
 from typing import Mapping
 
 __all__ = [
     "CACHE_SCHEMA",
     "cache_code_version",
+    "source_digest",
     "canonical_json",
     "result_key",
     "campaign_key",
@@ -33,25 +36,43 @@ __all__ = [
 CACHE_SCHEMA = 1
 
 
+@lru_cache(maxsize=None)
+def source_digest(root: str) -> str:
+    """SHA-256 over every ``*.py`` file under *root* (path-sorted, recursive).
+
+    Both the relative path and the content of each module are hashed, so
+    editing, adding, renaming or deleting any source file changes the digest.
+    Cached per *root* for the process lifetime: results saved by this process
+    keep one consistent address even if the checkout is edited mid-run (the
+    next process sees the new digest and re-executes).
+    """
+    digest = hashlib.sha256()
+    base = Path(root)
+    for path in sorted(base.rglob("*.py")):
+        digest.update(str(path.relative_to(base)).encode("utf-8", "replace"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
 def cache_code_version() -> str:
-    """The code-version component of every key (the package version).
+    """The code-version component of every key: package version + source digest.
 
     Results are pure functions of ``(spec, seed)`` *for one version of the
     code* — a new release may legitimately change traces, so the version is
     hashed into the address and old entries become unreachable instead of
-    stale.
-
-    .. warning:: The granularity is the **declared package version**, not the
-       source content.  Editing execution code in a source checkout without
-       bumping ``pyproject.toml`` leaves old entries addressable — run with
-       ``--no-cache``, point ``--cache-dir`` somewhere fresh, or bump the
-       version while iterating on scheduler/runtime code.
+    stale.  Because a source checkout can change without a version bump, the
+    declared version is combined with a :func:`source_digest` of the
+    installed ``repro`` package tree: editing any execution module re-keys
+    the cache immediately, no ``pyproject.toml`` bump required.
     """
     # Imported lazily: repro/__init__ pulls the whole public API and must not
     # load just because the cache machinery was imported.
+    import repro
     from repro import __version__
 
-    return __version__
+    return f"{__version__}+src.{source_digest(str(Path(repro.__file__).parent))[:16]}"
 
 
 def canonical_json(data) -> str:
@@ -120,10 +141,16 @@ def result_key(kind: str, spec, seed: int, **extra) -> str:
     return hashlib.sha256(canonical_json(payload).encode("ascii")).hexdigest()
 
 
-def campaign_key(spec, seed: int, trials: int) -> str:
+def campaign_key(spec, seed: int, trials: int, reduce: str = "traces") -> str:
     """The address of a Monte-Carlo campaign: ``(spec, seed)`` × *trials*.
 
     This is the unit cached by the suite runner — one grid point's campaign —
-    and by :func:`repro.experiments.parallel.run_runtime_campaign`.
+    and by :func:`repro.experiments.parallel.run_runtime_campaign`.  *reduce*
+    records the worker-side reduction the payload was produced with
+    (``"traces"`` keeps full traces, ``"stats"`` only per-trial summaries):
+    the two payload shapes carry different information, so they address
+    different entries and never serve each other.
     """
-    return result_key("runtime-campaign", spec, seed, trials=int(trials))
+    return result_key(
+        "runtime-campaign", spec, seed, trials=int(trials), reduce=str(reduce)
+    )

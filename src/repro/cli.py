@@ -55,12 +55,28 @@ re-executes only the changed grid points::
     repro-streaming suite run examples/suite.json --no-cache
     repro-streaming suite run examples/suite.json --smoke          # tiny CI pass
     repro-streaming suite emit > suite.json                        # starter suite
+
+Wide sweeps and big campaigns can ship statistics instead of full traces —
+the worker summarizes each trial before anything crosses the process
+boundary (identical numbers, a tiny fraction of the transfer)::
+
+    repro-streaming runtime --trials 200 --jobs 8 --reduce stats
+    repro-streaming suite run suite.json --jobs 8 --reduce stats
+
+Cache maintenance: inspect the result cache and prune it to a size bound
+(least-recently-used entries go first; losing an entry only means the next
+identical run recomputes it)::
+
+    repro-streaming cache ls
+    repro-streaming cache gc --max-size 500M
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.experiments import figures as fig
@@ -111,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(sub)
     _add_config_parser(sub)
     _add_suite_parser(sub)
+    _add_cache_parser(sub)
     return parser
 
 
@@ -298,6 +315,7 @@ def _add_runtime_parser(sub) -> None:
     p.add_argument(
         "--no-plot", action="store_true", help="print only the tables, no ASCII plots"
     )
+    _add_reduce_option(p)
     _add_cache_options(p)
 
 
@@ -326,6 +344,20 @@ def _add_run_parser(sub) -> None:
         help=(
             "shrink the scenario (few data sets, 2 trials) and exercise all "
             "four modes once — the CI configuration smoke test"
+        ),
+    )
+
+
+def _add_reduce_option(p: argparse.ArgumentParser) -> None:
+    """The worker-transport flag shared by ``runtime`` and ``suite run``."""
+    p.add_argument(
+        "--reduce",
+        choices=("traces", "stats"),
+        default="traces",
+        help=(
+            "worker payload: 'traces' ships every trial's full trace back to "
+            "the parent, 'stats' summarizes inside the worker (identical "
+            "statistics, a tiny fraction of the inter-process transfer)"
         ),
     )
 
@@ -410,6 +442,7 @@ def _add_suite_parser(sub) -> None:
     run_p.add_argument(
         "--no-plot", action="store_true", help="print only the tables, no ASCII plots"
     )
+    _add_reduce_option(run_p)
     _add_cache_options(run_p, cache_by_default=True)
     emit_p = ssub.add_parser(
         "emit", help="print a starter suite JSON (pipe into a suite file)"
@@ -464,6 +497,7 @@ def _run_suite_command(args: argparse.Namespace) -> int:
             trials=args.trials,
             jobs=args.jobs,
             cache=_open_cli_cache(args),
+            reduce=args.reduce,
         )
         report = render_suite(
             result, x_axis=args.x_axis, y_axis=args.y_axis, plot=not args.no_plot
@@ -503,6 +537,108 @@ def _emit_suite(args: argparse.Namespace) -> int:
     )
     print(suite.to_json())
     return 0
+
+
+def _parse_size(text: str) -> int:
+    """A byte count with an optional K/M/G suffix (``500M``, ``2G``, ``0``)."""
+    import math
+
+    text = text.strip()
+    units = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    factor = units.get(text[-1:].upper())
+    number = text[:-1] if factor else text
+    try:
+        value = float(number) * (factor or 1)
+    except ValueError:
+        value = float("nan")
+    # one error path for unparsable, non-finite ('inf', 'nan') and negative
+    # sizes: int() of an infinity would escape argparse as an OverflowError
+    if not math.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (expected a non-negative byte count, "
+            f"optionally K/M/G-suffixed)"
+        )
+    return int(value)
+
+
+def _format_size(n: int | float) -> str:
+    """Human form of a byte count (``12.3 MiB``)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def _add_cache_parser(sub) -> None:
+    p = sub.add_parser(
+        "cache",
+        help="inspect and prune the spec-hash result cache",
+    )
+    csub = p.add_subparsers(dest="cache_command", required=True)
+    ls_p = csub.add_parser(
+        "ls", help="entry count, bytes and last-use ages of the cache"
+    )
+    gc_p = csub.add_parser(
+        "gc",
+        help=(
+            "evict least-recently-used entries until the cache fits a size "
+            "bound (hits refresh an entry's place in line; losing an entry "
+            "only means the next identical run recomputes it)"
+        ),
+    )
+    gc_p.add_argument(
+        "--max-size",
+        type=_parse_size,
+        required=True,
+        help="size bound in bytes, or K/M/G-suffixed (e.g. 500M); 0 empties the cache",
+    )
+    for sp in (ls_p, gc_p):
+        sp.add_argument(
+            "--cache-dir",
+            default=None,
+            help="cache directory (default: the user cache dir; $REPRO_CACHE_DIR overrides)",
+        )
+
+
+def _run_cache_command(args: argparse.Namespace) -> int:
+    from repro.cache import DiskCache, default_cache_dir
+    from repro.utils.ascii import format_table
+
+    root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    cache = DiskCache(root)
+    usage = cache.usage()
+    if args.cache_command == "gc":
+        evicted = cache.gc(args.max_size)
+        freed = sum(e.size for e in evicted)
+        after = cache.usage()
+        print(
+            f"evicted {len(evicted)} of {usage.entries} entries "
+            f"({_format_size(freed)} freed); {after.entries} entries, "
+            f"{_format_size(after.total_bytes)} remain in {root}"
+        )
+        return 0
+    rows: list[list[object]] = [
+        ["directory", str(root)],
+        ["entries", usage.entries],
+        ["total size", _format_size(usage.total_bytes)],
+    ]
+    if usage.entries:
+        now = time.time()
+        rows.append(["least recently used", _format_age(now - usage.oldest_used)])
+        rows.append(["most recently used", _format_age(now - usage.newest_used)])
+    print(format_table(["cache", "value"], rows, title="result cache"))
+    return 0
+
+
+def _format_age(seconds: float) -> str:
+    """Human form of an age in seconds (``3.2 h ago``)."""
+    seconds = max(0.0, seconds)
+    for limit, unit, scale in ((120, "s", 1), (7200, "min", 60), (172800, "h", 3600)):
+        if seconds < limit:
+            return f"{seconds / scale:.1f} {unit} ago"
+    return f"{seconds / 86400:.1f} d ago"
 
 
 def _add_config_parser(sub) -> None:
@@ -599,6 +735,7 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 jobs=args.jobs,
                 cache=_open_cli_cache(args),
+                reduce=args.reduce,
             )
             print(render_sweep(sweep, plot=not args.no_plot))
             return 0
@@ -607,6 +744,7 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
             seed=args.seed,
             jobs=args.jobs,
             cache=_open_cli_cache(args),
+            reduce=args.reduce,
         )
     except (ValueError, SchedulingError) as exc:
         print(f"repro-streaming runtime: error: {exc}", file=sys.stderr)
@@ -718,6 +856,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_config_command(args)
     if command == "suite":
         return _run_suite_command(args)
+    if command == "cache":
+        return _run_cache_command(args)
 
     config = _config(args)
     jobs = getattr(args, "jobs", 1)

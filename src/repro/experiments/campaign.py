@@ -293,12 +293,16 @@ def run_point(
     config: ExperimentConfig,
     algorithms: Mapping[str, Callable[..., Schedule]] | None = None,
     jobs: int | None = 1,
+    chunksize: int | None = None,
 ) -> PointResult:
     """Run one (granularity, ε) point of the campaign.
 
     With ``jobs > 1`` the graph instances of the point are sharded across
     worker processes; every instance carries its own pre-derived seed, so the
-    result is bit-for-bit identical for any ``jobs`` value.
+    result is bit-for-bit identical for any ``jobs`` value.  *chunksize*
+    tunes how many instances travel per pickle round-trip (default: ≈ four
+    chunks per worker, see :func:`~repro.experiments.parallel.parallel_map`)
+    — transport only, never results.
     """
     from repro.experiments.parallel import parallel_map
 
@@ -307,6 +311,7 @@ def run_point(
         partial(run_graph_instance, epsilon=epsilon, config=config, algorithms=algorithms),
         items,
         jobs=jobs,
+        chunksize=chunksize,
     )
     return _reduce_point(granularity, epsilon, config, results, algorithms)
 
@@ -316,6 +321,7 @@ def run_campaign(
     config: ExperimentConfig,
     algorithms: Mapping[str, Callable[..., Schedule]] | None = None,
     jobs: int | None = 1,
+    chunksize: int | None = None,
 ) -> CampaignResult:
     """Sweep every granularity of *config* for the given ε.
 
@@ -324,7 +330,8 @@ def run_campaign(
     when there are fewer granularity points than workers (per-graph sharding
     *within* a point).  Every unit carries its own pre-derived seed, so the
     campaign is bit-for-bit identical for any ``jobs`` value (custom
-    *algorithms* must be picklable, i.e. module-level functions).
+    *algorithms* must be picklable, i.e. module-level functions); *chunksize*
+    only tunes how many units travel per pickle round-trip.
     """
     from repro.experiments.parallel import parallel_map
 
@@ -335,6 +342,7 @@ def run_campaign(
         partial(run_graph_instance, epsilon=epsilon, config=config, algorithms=algorithms),
         units,
         jobs=jobs,
+        chunksize=chunksize,
     )
     points = []
     n = config.num_graphs

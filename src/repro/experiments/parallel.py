@@ -11,6 +11,17 @@ submission order, so ``jobs=1`` and ``jobs=N`` produce bit-for-bit identical
 results.  Work functions must be module-level (picklable) pure functions of
 their arguments — both :func:`repro.runtime.montecarlo.run_trial` and
 :func:`repro.experiments.campaign.run_point` qualify.
+
+Transport is the second lever.  ``executor.map`` round-trips one pickle per
+work unit by default; :func:`parallel_map` always passes an explicit
+``chunksize`` (≈ four chunks per worker unless overridden), which batches the
+small units of wide campaigns into a few pickles per worker.  And campaigns
+that only need statistics can run with ``reduce="stats"``: the worker
+summarizes each trace to a :class:`~repro.runtime.trace.TraceSummary` *before*
+shipping it back, so a cacheless sweep transfers a few floats per trial
+instead of megabytes of trace pickles — with
+:meth:`RuntimeCampaignResult.stats` equal to the ``reduce="traces"`` value by
+construction (see :func:`repro.runtime.trace.combine_summaries`).
 """
 
 from __future__ import annotations
@@ -21,49 +32,119 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Iterable, Sequence, TypeVar, Union
 
-from repro.runtime.montecarlo import RuntimeTrialSpec, run_trial
-from repro.runtime.trace import RuntimeStats, RuntimeTrace, summarize_traces
+from repro.runtime.montecarlo import RuntimeTrialSpec, run_trial, run_trial_summary
+from repro.runtime.trace import (
+    RuntimeStats,
+    RuntimeTrace,
+    TraceSummary,
+    combine_summaries,
+    summarize_traces,
+)
 from repro.scenario.spec import ScenarioSpec
 from repro.utils.rng import derive_seed, ensure_rng
 
-__all__ = ["parallel_map", "RuntimeCampaignResult", "run_runtime_campaign"]
+__all__ = [
+    "parallel_map",
+    "REDUCTIONS",
+    "check_reduce",
+    "campaign_trial_seeds",
+    "RuntimeCampaignResult",
+    "run_runtime_campaign",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: worker-side reductions of a campaign: ship full traces, or summarize each
+#: trace to a TraceSummary inside the worker (identical statistics, a tiny
+#: fraction of the inter-process transfer).
+REDUCTIONS = ("traces", "stats")
+
 
 def parallel_map(
-    fn: Callable[[T], R], items: Iterable[T], jobs: int | None = 1
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = 1,
+    chunksize: int | None = None,
 ) -> list[R]:
     """``[fn(x) for x in items]``, optionally across *jobs* worker processes.
 
     Results always come back in input order.  ``jobs`` of ``None``, 0 or 1 —
     or a single-item input — runs serially in-process (no pool overhead, same
-    results).
+    results).  *chunksize* batches units into one pickle round-trip per chunk;
+    the default aims at four chunks per worker, which amortizes the transport
+    of small units while keeping the pool load-balanced (``executor.map``'s
+    own default of 1 round-trips every unit individually).  Neither knob
+    changes results — only how the identical work units travel.
     """
     items = list(items)
     if jobs is None or jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as executor:
-        return list(executor.map(fn, items))
+    workers = min(jobs, len(items))
+    if chunksize is None:
+        chunksize = max(1, len(items) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(fn, items, chunksize=chunksize))
+
+
+def campaign_trial_seeds(seed: int, trials: int) -> tuple[int, ...]:
+    """The per-trial child seeds of one campaign, derived up front from *seed*.
+
+    One formula for every runner (the campaign itself, the suite executor's
+    flattened trials×points fan-out): trial ``k`` of a campaign seeded *s* is
+    a pure function of ``(s, k)``, which is what makes any regrouping of the
+    work across processes bit-identical.
+    """
+    rng = ensure_rng(seed)
+    return tuple(derive_seed(rng) for _ in range(trials))
+
+
+def check_reduce(reduce: str) -> str:
+    """Validate a ``reduce=`` argument (shared by runners, Session and CLI)."""
+    if reduce not in REDUCTIONS:
+        raise ValueError(f"reduce must be one of {REDUCTIONS}, got {reduce!r}")
+    return reduce
 
 
 @dataclass(frozen=True)
 class RuntimeCampaignResult:
-    """Outcome of a Monte-Carlo campaign of online-runtime trials."""
+    """Outcome of a Monte-Carlo campaign of online-runtime trials.
+
+    Exactly one of *traces* / *summaries* is set, according to *reduce*:
+    ``"traces"`` keeps every trial's full :class:`~repro.runtime.trace.
+    RuntimeTrace`, ``"stats"`` keeps only the per-trial
+    :class:`~repro.runtime.trace.TraceSummary` produced inside the worker
+    processes.  :attr:`stats` is identical either way.
+    """
 
     spec: Union[ScenarioSpec, RuntimeTrialSpec]
     seed: int
     trial_seeds: tuple[int, ...]
-    traces: tuple[RuntimeTrace, ...]
+    traces: tuple[RuntimeTrace, ...] | None
+    summaries: tuple[TraceSummary, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if (self.traces is None) == (self.summaries is None):
+            raise ValueError(
+                "exactly one of traces/summaries must be set "
+                "(reduce='traces' keeps traces, reduce='stats' keeps summaries)"
+            )
+
+    @property
+    def reduce(self) -> str:
+        """The worker-side reduction this campaign ran with."""
+        return "traces" if self.traces is not None else "stats"
 
     @property
     def trials(self) -> int:
-        return len(self.traces)
+        payload = self.traces if self.traces is not None else self.summaries
+        return len(payload)
 
     @property
     def stats(self) -> RuntimeStats:
-        """Aggregate statistics over the trials."""
+        """Aggregate statistics over the trials (identical for both modes)."""
+        if self.summaries is not None:
+            return combine_summaries(self.summaries)
         return summarize_traces(self.traces)
 
 
@@ -73,6 +154,7 @@ def run_runtime_campaign(
     seed: int = 0,
     jobs: int | None = 1,
     cache=None,
+    reduce: str = "traces",
 ) -> RuntimeCampaignResult:
     """Run *trials* independent online-runtime trials, *jobs* at a time.
 
@@ -85,12 +167,20 @@ def run_runtime_campaign(
 
     That purity is what *cache* exploits: a cache object from
     :mod:`repro.cache` (or a directory path) serves the whole campaign from
-    its content address when the identical ``(spec, seed, trials)`` ran
-    before on this code version — bit-identical to re-executing — and stores
-    fresh results for next time.
+    its content address when the identical ``(spec, seed, trials, reduce)``
+    ran before on this code version — bit-identical to re-executing — and
+    stores fresh results for next time.
+
+    *reduce* selects the worker payload: ``"traces"`` (default) ships every
+    trial's full trace back to the parent, ``"stats"`` summarizes each trace
+    to a :class:`~repro.runtime.trace.TraceSummary` inside the worker — same
+    :attr:`~RuntimeCampaignResult.stats`, a small fraction of the transfer
+    (and of the cache entry).  The reduction is part of the cache key, so the
+    two modes never serve each other's entries.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    check_reduce(reduce)
     if isinstance(spec, RuntimeTrialSpec):
         warnings.warn(
             "passing a RuntimeTrialSpec to run_runtime_campaign is deprecated; "
@@ -103,17 +193,26 @@ def run_runtime_campaign(
     from repro.cache import MISS, campaign_key, open_cache
 
     cache = open_cache(cache)
-    key = campaign_key(spec, seed, trials) if cache.enabled else None
+    key = campaign_key(spec, seed, trials, reduce=reduce) if cache.enabled else None
     if key is not None:
         hit = cache.get(key, expect=RuntimeCampaignResult)
         if hit is not MISS:
             return hit
-    rng = ensure_rng(seed)
-    trial_seeds = tuple(derive_seed(rng) for _ in range(trials))
-    traces = parallel_map(partial(run_trial, spec), trial_seeds, jobs=jobs)
-    result = RuntimeCampaignResult(
-        spec=spec, seed=seed, trial_seeds=trial_seeds, traces=tuple(traces)
-    )
+    trial_seeds = campaign_trial_seeds(seed, trials)
+    if reduce == "stats":
+        summaries = parallel_map(partial(run_trial_summary, spec), trial_seeds, jobs=jobs)
+        result = RuntimeCampaignResult(
+            spec=spec,
+            seed=seed,
+            trial_seeds=trial_seeds,
+            traces=None,
+            summaries=tuple(summaries),
+        )
+    else:
+        traces = parallel_map(partial(run_trial, spec), trial_seeds, jobs=jobs)
+        result = RuntimeCampaignResult(
+            spec=spec, seed=seed, trial_seeds=trial_seeds, traces=tuple(traces)
+        )
     if key is not None:
         cache.put(key, result)
     return result

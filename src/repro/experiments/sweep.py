@@ -264,14 +264,21 @@ class SweepResult:
         return rows
 
 
-def _run_suite_point(
-    item: tuple[ScenarioSpec, int], trials: int
-) -> "RuntimeCampaignResult":  # noqa: F821 - imported lazily
-    """Execute one grid point's campaign (the picklable unit of suite work)."""
-    from repro.experiments.parallel import run_runtime_campaign
+def _run_trial_unit(item: tuple[ScenarioSpec, int], reduce: str):
+    """Execute one (grid point, trial) unit — the picklable unit of suite work.
 
-    point_spec, seed = item
-    return run_runtime_campaign(point_spec, trials=trials, seed=seed, jobs=1)
+    The suite executor flattens every cache-missed grid point into its
+    individual trials, so one process pool load-balances trials × points at
+    once (a grid with fewer points than workers still saturates the pool).
+    With ``reduce="stats"`` the trace never leaves the worker — only its
+    :class:`~repro.runtime.trace.TraceSummary` does.
+    """
+    from repro.runtime.montecarlo import run_trial, run_trial_summary
+
+    point_spec, trial_seed = item
+    if reduce == "stats":
+        return run_trial_summary(point_spec, trial_seed)
+    return run_trial(point_spec, trial_seed)
 
 
 def run_suite(
@@ -280,27 +287,39 @@ def run_suite(
     trials: int | None = None,
     jobs: int | None = 1,
     cache=None,
+    reduce: str = "traces",
 ) -> SweepResult:
     """Execute every grid point of *suite* as one sharded, cached campaign.
 
     *seed* and *trials* default to the suite's own values.  Per-point seeds
-    derive from *seed* in grid order before any work is dispatched, so the
-    result is bit-for-bit identical for any *jobs* value **and any cache
-    state**: a cached campaign is the pickled result of the identical
-    ``(spec, seed, trials, code version)`` execution.  *cache* is a cache
-    object from :mod:`repro.cache`, a directory path, or ``None`` (no
-    caching); only cache misses are executed, *jobs* at a time, and fresh
-    results are written back from the parent process.
+    derive from *seed* in grid order before any work is dispatched, and the
+    per-trial seeds of a point derive from its point seed exactly as
+    :func:`~repro.experiments.parallel.run_runtime_campaign` would draw them,
+    so the result is bit-for-bit identical for any *jobs* value **and any
+    cache state**: a cached campaign is the pickled result of the identical
+    ``(spec, seed, trials, reduce, code version)`` execution.  *cache* is a
+    cache object from :mod:`repro.cache`, a directory path, or ``None`` (no
+    caching); only cache misses are executed — flattened into trials × points
+    work units over one shared pool, *jobs* at a time — and fresh results are
+    written back from the parent process.
 
-    Every point returns its **full campaign** (all trial traces) — that is
-    the unit the cache stores and what makes hits bit-identical, and it is
-    exposed as :attr:`SuitePointResult.campaign`.  The cost is that workers
-    ship whole trace sets back to the parent; for paper-scale suites this is
-    a few MB (see the ROADMAP's shared-memory note for the large-trace
-    upgrade path).
+    *reduce* selects the worker payload.  ``"traces"`` (default) keeps every
+    trial's full :class:`~repro.runtime.trace.RuntimeTrace`: the cache then
+    stores complete campaigns and :attr:`SuitePointResult.campaign` exposes
+    them.  ``"stats"`` summarizes each trace *inside the worker*: only a few
+    floats per trial cross the process boundary (and land in the cache),
+    which is the right mode for wide, cacheless sweeps that only read
+    :attr:`SuitePointResult.stats` — the statistics are equal to the
+    ``"traces"`` mode's by construction.
     """
-    from repro.experiments.parallel import RuntimeCampaignResult, parallel_map
+    from repro.experiments.parallel import (
+        RuntimeCampaignResult,
+        campaign_trial_seeds,
+        check_reduce,
+        parallel_map,
+    )
 
+    check_reduce(reduce)
     cache = open_cache(cache)
     stats_before = cache.stats.snapshot()
     run_seed = suite.seed if seed is None else seed
@@ -314,7 +333,7 @@ def run_suite(
     # probe loop entirely so a cacheless run carries all-zero stats.
     keys = (
         [
-            campaign_key(spec, point_seed, run_trials)
+            campaign_key(spec, point_seed, run_trials, reduce=reduce)
             for spec, point_seed in zip(specs, seeds)
         ]
         if cache.enabled
@@ -330,12 +349,26 @@ def run_suite(
             miss_indices.append(i)
         else:
             campaigns[i] = value
-    executed = parallel_map(
-        partial(_run_suite_point, trials=run_trials),
-        [(specs[i], seeds[i]) for i in miss_indices],
-        jobs=jobs,
-    )
-    for i, campaign in zip(miss_indices, executed):
+    # nested fan-out: every missed point unrolls into its trials, and all the
+    # (point, trial) units share one pool — workers stay busy even when the
+    # grid has fewer points than workers, and each unit's return payload is
+    # one trace (or one summary), never a whole campaign pickle.
+    trial_seed_of = {i: campaign_trial_seeds(seeds[i], run_trials) for i in miss_indices}
+    units = [
+        (specs[i], trial_seed)
+        for i in miss_indices
+        for trial_seed in trial_seed_of[i]
+    ]
+    outputs = parallel_map(partial(_run_trial_unit, reduce=reduce), units, jobs=jobs)
+    for slot, i in enumerate(miss_indices):
+        chunk = tuple(outputs[slot * run_trials : (slot + 1) * run_trials])
+        campaign = RuntimeCampaignResult(
+            spec=specs[i],
+            seed=seeds[i],
+            trial_seeds=trial_seed_of[i],
+            traces=chunk if reduce == "traces" else None,
+            summaries=chunk if reduce == "stats" else None,
+        )
         if keys[i] is not None:
             cache.put(keys[i], campaign)
         campaigns[i] = campaign
@@ -435,6 +468,7 @@ def run_runtime_sweep(
     seed: int = 0,
     jobs: int | None = 1,
     cache=None,
+    reduce: str = "traces",
 ) -> RuntimeSweepResult:
     """Sweep the failure-regime grid; deterministic for any *jobs* value.
 
@@ -443,8 +477,11 @@ def run_runtime_sweep(
     mttf-major → mttr → shape — executed by :func:`run_suite` (every point's
     campaign seed derived from *seed* in grid order before any work is
     dispatched, results bit-identical to the historical direct
-    implementation).  *cache* enables spec-hash result caching exactly as in
-    :func:`run_suite`.
+    implementation).  *cache* enables spec-hash result caching and *reduce*
+    the stats-only worker transport, exactly as in :func:`run_suite` — the
+    sweep report only reads per-point statistics, so ``reduce="stats"`` is
+    safe for any use of this function and cuts the inter-process transfer to
+    a few floats per trial.
     """
     if not mttf_grid or not shapes:
         raise ValueError("mttf_grid and shapes must be non-empty")
@@ -470,7 +507,7 @@ def run_runtime_sweep(
         trials=trials,
         seed=seed,
     )
-    result = run_suite(suite, jobs=jobs, cache=cache)
+    result = run_suite(suite, jobs=jobs, cache=cache, reduce=reduce)
     points = tuple(
         SweepPoint(
             mttf_periods=point.spec.faults.mttf_periods,

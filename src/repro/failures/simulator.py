@@ -41,6 +41,7 @@ from repro.schedule.replica import Replica
 from repro.schedule.schedule import Schedule
 from repro.schedule.validation import valid_replicas_under_failures
 from repro.sim.kernel import PipelineKernel
+from repro.utils.gcpause import gc_paused
 
 __all__ = ["StreamingSimulator", "SimulationResult", "simulate_stream"]
 
@@ -123,8 +124,9 @@ class StreamingSimulator:
         if num_datasets < 1:
             raise ValueError(f"num_datasets must be >= 1, got {num_datasets}")
         period = self.schedule.period
-        if release_times is None:
-            releases = [j * period for j in range(num_datasets)]
+        uniform = release_times is None
+        if uniform:
+            releases = (np.arange(num_datasets, dtype=np.float64) * period).tolist()
         else:
             releases = [float(t) for t in release_times]
             if len(releases) != num_datasets:
@@ -144,8 +146,17 @@ class StreamingSimulator:
             require_exit_coverage=False,
             valid_replicas=self._valid_map,
         )
-        kernel.admit_batch(releases)
-        kernel.run_to_completion()
+        if uniform:
+            # Uniform j·Δ releases take the vectorized fast path: the release
+            # events come from a numpy arange + one heapify, event-for-event
+            # identical to admit_batch on the equivalent release list.
+            kernel.admit_batch_vectorized(num_datasets, period)
+        else:
+            kernel.admit_batch(releases)
+        with gc_paused():
+            # millions of acyclic allocations; the cycle detector's scans are
+            # pure overhead that grows with the stream (see repro.utils.gcpause)
+            kernel.run_to_completion()
 
         latencies = []
         completions = []

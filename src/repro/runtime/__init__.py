@@ -40,9 +40,12 @@ from repro.runtime.trace import (
     RuntimeEvent,
     RuntimeTrace,
     RuntimeStats,
+    TraceSummary,
+    combine_summaries,
+    summarize_trace,
     summarize_traces,
 )
-from repro.runtime.montecarlo import RuntimeTrialSpec, run_trial
+from repro.runtime.montecarlo import RuntimeTrialSpec, run_trial, run_trial_summary
 
 __all__ = [
     "OnlineRuntime",
@@ -61,7 +64,11 @@ __all__ = [
     "RuntimeEvent",
     "RuntimeTrace",
     "RuntimeStats",
+    "TraceSummary",
+    "combine_summaries",
+    "summarize_trace",
     "summarize_traces",
     "RuntimeTrialSpec",
     "run_trial",
+    "run_trial_summary",
 ]

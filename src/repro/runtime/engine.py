@@ -62,10 +62,26 @@ from repro.runtime.trace import DatasetRecord, RuntimeEvent, RuntimeTrace
 from repro.schedule.schedule import Schedule
 from repro.schedule.validation import valid_replicas_under_failures
 from repro.sim.kernel import PipelineKernel
+from repro.utils.gcpause import gc_paused
 
 __all__ = ["OnlineRuntime", "run_online"]
 
 _INF = float("inf")
+
+#: data sets admitted per control-loop pass in ``checkpoint=True`` mode.
+#: Without a cap the zero-fault stream is admitted in one go and the kernel
+#: heap holds every release event of the stream at once — on 10⁵-dataset
+#: streams the heap's log factor (and its memory) then grows with the stream
+#: instead of the pipeline depth.  For the incremental executor the window is
+#: control-flow only — the admission policy sees the same ``on_release``
+#: calls in the same order with the same arguments and the kernel processes
+#: the same events, so traces are bit-identical for any window size.  The
+#: ``checkpoint=False`` flush executor is **exempt**: it seals whatever batch
+#: has accumulated every time it advances, so an extra advance at a window
+#: boundary would split one segment's batch across two cold-pipeline
+#: simulations and lose their cross-dataset contention — flush mode therefore
+#: keeps the historical unwindowed scan (its memory is per-segment anyway).
+_ADMIT_WINDOW = 256
 
 
 def _effective_period(schedule: Schedule) -> float:
@@ -77,10 +93,20 @@ def _effective_period(schedule: Schedule) -> float:
 
 
 class _IncrementalExecutor:
-    """Data plane of ``checkpoint=True``: one kernel across fault events."""
+    """Data plane of ``checkpoint=True``: one kernel across fault events.
+
+    The kernel runs with ``retain_history=False``: completions reach the
+    control plane exclusively through the ``run_until`` drains, so a data
+    set's book-keeping is evicted at its watermark and the executor's live
+    state is bounded by the pipeline depth, not the stream length (the
+    constant-memory fast path for 10⁵+-dataset streams — bit-identical to
+    the retaining kernel, see ``tests/property``).
+    """
 
     def __init__(self, schedule: Schedule):
-        self._kernel: PipelineKernel | None = PipelineKernel(schedule)
+        self._kernel: PipelineKernel | None = PipelineKernel(
+            schedule, retain_history=False
+        )
         self._ckpt: dict[int, frozenset[str]] = {}
 
     def admit(self, dataset: int, release: float, admit_time: float) -> None:
@@ -111,7 +137,7 @@ class _IncrementalExecutor:
         self._kernel = None
 
     def on_rebuild_complete(self, schedule: Schedule, now: float, pending: Iterable[int]) -> None:
-        self._kernel = PipelineKernel(schedule)
+        self._kernel = PipelineKernel(schedule, retain_history=False)
         for dataset in pending:
             self._kernel.admit_restored(dataset, now, self._ckpt.pop(dataset, ()))
 
@@ -235,6 +261,13 @@ class OnlineRuntime:
         """Stream *num_datasets* consecutive data sets through the fault trace."""
         if num_datasets < 1:
             raise ValueError(f"num_datasets must be >= 1, got {num_datasets}")
+        # The run allocates millions of acyclic objects and the cyclic GC's
+        # scans grow with the accumulated stream history; pausing it keeps
+        # per-dataset cost flat (see repro.utils.gcpause).
+        with gc_paused():
+            return self._run(num_datasets)
+
+    def _run(self, num_datasets: int) -> RuntimeTrace:
         initial = self.schedule
         graph = initial.graph
         platform0 = initial.platform
@@ -244,7 +277,13 @@ class OnlineRuntime:
         releases = [j * period for j in range(num_datasets)]
         fault_events = [e for e in self.fault_trace.events if e.time < horizon]
 
-        records: list[DatasetRecord | None] = [None] * num_datasets
+        # records accumulate as plain (index, release, completion, status)
+        # tuples during the run: CPython untracks tuples of atomics, so the
+        # cyclic GC's full collections skip the stream history instead of
+        # rescanning it (on 10⁵-dataset streams that rescan is what turns
+        # per-dataset cost super-linear).  The DatasetRecord objects are
+        # materialized once, at trace construction.
+        records: list[tuple | None] = [None] * num_datasets
         log: list[RuntimeEvent] = []
         admission = self.admission
         admission.reset()
@@ -272,7 +311,7 @@ class OnlineRuntime:
 
         def record_completions(completions) -> None:
             for j, t in completions:
-                records[j] = DatasetRecord(j, pending.pop(j), t, "completed")
+                records[j] = (j, pending.pop(j), t, "completed")
 
         def admit(j: int, release: float, admit_time: float) -> None:
             nonlocal next_slot
@@ -287,7 +326,7 @@ class OnlineRuntime:
                 j, r = next_j, releases[next_j]
                 next_j += 1
                 if aborted:
-                    records[j] = DatasetRecord(j, r, None, "lost-abort")
+                    records[j] = (j, r, None, "lost-abort")
                     continue
                 verb, arg = admission.on_release(
                     j,
@@ -298,7 +337,7 @@ class OnlineRuntime:
                     tol=tol,
                 )
                 if verb == DROP:
-                    records[j] = DatasetRecord(j, r, None, arg)
+                    records[j] = (j, r, None, arg)
                 elif verb == ADMIT:
                     admit(j, r, arg)
                 # "defer": buffered inside the admission policy
@@ -323,19 +362,24 @@ class OnlineRuntime:
             log.append(RuntimeEvent(now, "abort", None, reason))
             executor.on_abort(now)
             for j, r in admission.drain():
-                records[j] = DatasetRecord(j, r, None, "lost-abort")
+                records[j] = (j, r, None, "lost-abort")
             for j, r in pending.items():
-                records[j] = DatasetRecord(j, r, None, "lost-abort")
+                records[j] = (j, r, None, "lost-abort")
             pending.clear()
 
         i = 0
+        windowed = self.checkpoint  # see _ADMIT_WINDOW: flush mode is exempt
         while True:
             next_fault = fault_events[i].time if i < len(fault_events) else _INF
             now = min(next_fault, rebuild_done, horizon)
+            if windowed and next_j + _ADMIT_WINDOW < num_datasets:
+                now = min(now, releases[next_j + _ADMIT_WINDOW])
             scan_releases(now)
             if now >= horizon:
                 break  # the final advance happens in executor.finalize()
             record_completions(executor.advance(now, schedule, failed_cur, seg_start, tol))
+            if now < rebuild_done and now < next_fault:
+                continue  # window boundary only: admit + advance, no control event
 
             if rebuilding and rebuild_done <= next_fault:
                 # ------------------------------------------------ rebuild done
@@ -442,14 +486,14 @@ class OnlineRuntime:
             # The data plane was abandoned mid-rebuild and the horizon ended
             # before a new schedule could replay the checkpointed data sets.
             for j, r in pending.items():
-                records[j] = DatasetRecord(j, r, None, "lost-downtime")
+                records[j] = (j, r, None, "lost-downtime")
             pending.clear()
         for j, r in admission.drain():
-            records[j] = DatasetRecord(j, r, None, "lost-downtime")
+            records[j] = (j, r, None, "lost-downtime")
 
         assert all(r is not None for r in records)
         return RuntimeTrace(
-            records=tuple(records),
+            records=tuple(DatasetRecord(*r) for r in records),
             events=tuple(log),
             period=period,
             horizon=horizon,

@@ -22,13 +22,13 @@ from typing import TYPE_CHECKING, Union
 from repro.failures.scenarios import FAULT_DISTRIBUTIONS
 from repro.runtime.admission import ADMISSION_POLICIES
 from repro.runtime.policies import RESCHEDULE_POLICIES
-from repro.runtime.trace import RuntimeTrace
+from repro.runtime.trace import RuntimeTrace, TraceSummary, summarize_trace
 from repro.utils.checks import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.scenario.spec import ScenarioSpec
 
-__all__ = ["RuntimeTrialSpec", "run_trial"]
+__all__ = ["RuntimeTrialSpec", "run_trial", "run_trial_summary"]
 
 
 @dataclass(frozen=True)
@@ -166,3 +166,16 @@ def run_trial(
 
     scenario = spec if isinstance(spec, ScenarioSpec) else spec.to_scenario()
     return run_scenario_online(scenario, seed)
+
+
+def run_trial_summary(
+    spec: Union[RuntimeTrialSpec, "ScenarioSpec"], seed: int
+) -> TraceSummary:
+    """One seeded trial reduced to its :class:`~repro.runtime.trace.
+    TraceSummary` — the ``reduce="stats"`` worker mode of the campaign engine.
+
+    Running **and summarizing** inside the worker process means only a dozen
+    floats cross the process boundary instead of the full trace pickle.  The
+    summary is exactly ``summarize_trace(run_trial(spec, seed))``.
+    """
+    return summarize_trace(run_trial(spec, seed))

@@ -19,7 +19,16 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["DatasetRecord", "RuntimeEvent", "RuntimeTrace", "RuntimeStats", "summarize_traces"]
+__all__ = [
+    "DatasetRecord",
+    "RuntimeEvent",
+    "RuntimeTrace",
+    "RuntimeStats",
+    "TraceSummary",
+    "summarize_trace",
+    "summarize_traces",
+    "combine_summaries",
+]
 
 #: terminal states of one data set of the stream.  ``lost-overflow`` is the
 #: bounded-queue admission policy dropping the backlog that no longer fits.
@@ -196,28 +205,85 @@ class RuntimeStats:
         return rows
 
 
-def summarize_traces(traces: Sequence[RuntimeTrace] | Iterable[RuntimeTrace]) -> RuntimeStats:
-    """Aggregate *traces* into a :class:`RuntimeStats`."""
-    traces = list(traces)
-    if not traces:
+@dataclass(frozen=True)
+class TraceSummary:
+    """The per-trace scalars that :func:`summarize_traces` aggregates.
+
+    This is the *stats-only transport* unit of the campaign engine: a worker
+    process summarizes its trace to one of these (a dozen floats plus a small
+    dict) instead of shipping the full :class:`RuntimeTrace` pickle — per-
+    dataset records and all — back through the process pool.  The reduction
+    is lossless for statistics: :func:`combine_summaries` over the summaries
+    of a trace collection produces a :class:`RuntimeStats` **equal** to
+    :func:`summarize_traces` over the traces themselves (it is how
+    ``summarize_traces`` is implemented).
+    """
+
+    num_datasets: int
+    completed_count: int
+    num_rebuilds: int
+    downtime: float
+    availability: float
+    loss_rate: float
+    mean_latency: float
+    achieved_period: float
+    aborted: bool
+    crashes: int
+    lost_by_reason: dict[str, int] = field(default_factory=dict)
+
+
+def summarize_trace(trace: RuntimeTrace) -> TraceSummary:
+    """Reduce one trace to the scalars campaign statistics are built from."""
+    return TraceSummary(
+        num_datasets=trace.num_datasets,
+        completed_count=trace.completed_count,
+        num_rebuilds=trace.num_rebuilds,
+        downtime=trace.downtime,
+        availability=trace.availability,
+        loss_rate=trace.loss_rate,
+        mean_latency=trace.mean_latency,
+        achieved_period=trace.achieved_period,
+        aborted=trace.aborted,
+        crashes=sum(1 for e in trace.events if e.kind.startswith("crash")),
+        lost_by_reason=trace.lost_by_reason(),
+    )
+
+
+def combine_summaries(
+    summaries: Sequence[TraceSummary] | Iterable[TraceSummary],
+) -> RuntimeStats:
+    """Aggregate per-trace summaries into a :class:`RuntimeStats`.
+
+    Exactly the aggregation of :func:`summarize_traces` — every mean is taken
+    over the identical per-trace value list, so ``combine_summaries(map(
+    summarize_trace, traces))`` equals ``summarize_traces(traces)`` bit for
+    bit, regardless of which process produced the summaries.  (One ``==``
+    caveat: when no trial completed anything, ``mean_latency`` is NaN on both
+    sides and dataclass equality reports the two identical stats as unequal —
+    compare NaN-aware if that regime matters to you.)
+    """
+    summaries = list(summaries)
+    if not summaries:
         raise ValueError("cannot summarize an empty collection of traces")
     lost: dict[str, int] = {}
-    for trace in traces:
-        for reason, count in trace.lost_by_reason().items():
+    for summary in summaries:
+        for reason, count in summary.lost_by_reason.items():
             lost[reason] = lost.get(reason, 0) + count
-    latencies = [t.mean_latency for t in traces if t.completed_count]
-    crashes = sum(
-        len([e for e in t.events if e.kind.startswith("crash")]) for t in traces
-    )
+    latencies = [s.mean_latency for s in summaries if s.completed_count]
     return RuntimeStats(
-        trials=len(traces),
-        aborted_trials=sum(1 for t in traces if t.aborted),
-        mean_rebuilds=float(np.mean([t.num_rebuilds for t in traces])),
-        mean_downtime=float(np.mean([t.downtime for t in traces])),
-        mean_availability=float(np.mean([t.availability for t in traces])),
-        mean_loss_rate=float(np.mean([t.loss_rate for t in traces])),
+        trials=len(summaries),
+        aborted_trials=sum(1 for s in summaries if s.aborted),
+        mean_rebuilds=float(np.mean([s.num_rebuilds for s in summaries])),
+        mean_downtime=float(np.mean([s.downtime for s in summaries])),
+        mean_availability=float(np.mean([s.availability for s in summaries])),
+        mean_loss_rate=float(np.mean([s.loss_rate for s in summaries])),
         mean_latency=float(np.mean(latencies)) if latencies else float("nan"),
-        mean_achieved_period=float(np.mean([t.achieved_period for t in traces])),
-        total_crashes=crashes,
+        mean_achieved_period=float(np.mean([s.achieved_period for s in summaries])),
+        total_crashes=sum(s.crashes for s in summaries),
         lost_by_reason=lost,
     )
+
+
+def summarize_traces(traces: Sequence[RuntimeTrace] | Iterable[RuntimeTrace]) -> RuntimeStats:
+    """Aggregate *traces* into a :class:`RuntimeStats`."""
+    return combine_summaries(summarize_trace(trace) for trace in traces)

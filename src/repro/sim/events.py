@@ -5,6 +5,11 @@ monotonically increasing insertion counter, so events at the same instant pop
 in push order.  This tie-breaking rule is part of the kernel's contract — the
 offline simulator relies on it to stay bit-for-bit reproducible across runs
 (and across the PR that extracted this kernel out of it).
+
+Event kinds are small ints (interned by CPython), not strings: the kind is
+dispatched on once per event in the kernel's hot loop, and it never takes
+part in heap ordering — ``(time, sequence)`` is always a unique sort key, so
+the comparison chain never reaches the kind or the payload.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ class EventQueue:
         #: the raw heap of ``(time, seq, kind, payload)`` tuples.  The kernel's
         #: hot loop reads ``heap[0][0]`` and pops it directly to avoid a method
         #: call per event; every other caller must treat it as read-only.
-        self.heap: list[tuple[float, int, str, object]] = []
+        self.heap: list[tuple[float, int, int, object]] = []
         self._count = 0
         self._now = 0.0
 
@@ -38,16 +43,35 @@ class EventQueue:
         """Time of the most recently popped event (the simulation clock)."""
         return self._now
 
-    def push(self, time: float, kind: str, payload: object) -> None:
+    def push(self, time: float, kind: int, payload: object) -> None:
         """Schedule *payload* of type *kind* at *time*."""
         self._count += 1
         heapq.heappush(self.heap, (time, self._count, kind, payload))
+
+    def next_seq(self) -> int:
+        """The sequence number the *next* pushed event would receive.
+
+        Batch admission builds ``(time, seq, kind, payload)`` tuples itself
+        (extending :attr:`heap` then heapifying once is O(n), n pushes are
+        O(n log n)); it must draw the same consecutive sequence numbers a
+        push loop would have, so ties keep resolving in admission order.
+        Pair with :meth:`set_next_seq` after extending the heap.
+        """
+        return self._count + 1
+
+    def set_next_seq(self, seq: int) -> None:
+        """Record that sequence numbers below *seq* are now taken."""
+        if seq <= self._count:
+            raise ValueError(
+                f"sequence numbers must grow: next_seq {seq} <= current {self._count}"
+            )
+        self._count = seq - 1
 
     def peek_time(self) -> float:
         """Time of the earliest pending event (the queue must be non-empty)."""
         return self.heap[0][0]
 
-    def pop(self) -> tuple[float, str, object]:
+    def pop(self) -> tuple[float, int, object]:
         """Pop and return the earliest event as ``(time, kind, payload)``."""
         time, _, kind, payload = heapq.heappop(self.heap)
         self._now = time

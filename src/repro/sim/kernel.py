@@ -13,13 +13,18 @@ The kernel executes the steady-state pipeline of a complete
   valid copy wins);
 * a data set *completes* when every exit task has produced it at least once.
 
-Two admission styles share this loop:
+Three admission styles share this loop:
 
 * :meth:`PipelineKernel.admit_batch` pushes the release events of a whole
   stream up front, replica-major — the exact event order of the original
   offline simulator, preserved so that
   :class:`~repro.failures.simulator.StreamingSimulator` results stay
   byte-identical across the kernel extraction;
+* :meth:`PipelineKernel.admit_batch_vectorized` is the same admission for the
+  uniform ``j·Δ`` release pattern, built from a numpy arange plus one
+  ``heapify`` instead of one Python-level ``heappush`` per event — the fast
+  path for 10⁵+-dataset streams, event-for-event identical to
+  :meth:`~PipelineKernel.admit_batch` on the equivalent release list;
 * :meth:`PipelineKernel.admit` admits one data set at a time (dataset-major),
   which is what the online runtime does between fault events.
 
@@ -38,6 +43,31 @@ runtime needs:
   re-executing from scratch.  Restored outputs are delivered to their
   consumers at the restore instant with no transfer cost (they come from the
   checkpoint store, not from a peer's out-port).
+
+Memory model — the ``retain_history`` flag
+------------------------------------------
+
+By default (``retain_history=True``) the kernel keeps the full per-dataset
+book-keeping of every data set it ever saw: ``completions`` /
+:meth:`completion_of` answer for the whole run, which is what the offline
+simulator's :class:`~repro.failures.simulator.SimulationResult` is built
+from.  That state grows linearly with the stream, and on 10⁵+-dataset streams
+the dictionary churn — not the event arithmetic — dominates the run time.
+
+``retain_history=False`` turns on **watermark-based eviction**: the kernel
+counts the outstanding events of every data set, and the moment a *completed*
+data set's count drops to zero (its watermark — no pending event references
+it, so nothing can ever touch its state again) every trace of it is retired:
+the per-replica ``received``/``finished``/``done`` entries, the exit-task
+ledger, the admission record and the completion entry.  Live state is then
+bounded by the number of in-flight data sets (the pipeline depth), not the
+stream length.  Completions are reported **only** through the
+:meth:`run_until` / :meth:`run_to_completion` drains — ``completion_of``
+returns ``None`` once a data set has been evicted — and re-admitting a
+retired index raises (indices at or below the highest evicted index are
+rejected, the constant-memory stand-in for the per-dataset duplicate check).  Eviction is pure book-keeping: every event is processed
+identically in both modes, so the drained completions are bit-for-bit equal
+(property-tested in ``tests/property``).
 """
 
 from __future__ import annotations
@@ -45,6 +75,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.exceptions import ScheduleError
 from repro.schedule.replica import Replica
@@ -54,23 +86,51 @@ from repro.sim.events import EventQueue
 
 __all__ = ["PipelineKernel"]
 
-#: event kinds understood by the loop.
-_RELEASE = "release"
-_COMPUTED = "computed"
-_ARRIVED = "arrived"
+#: event kinds understood by the loop — interned small ints, not strings: the
+#: hot loop dispatches on them once per event, and an int compare is one
+#: pointer-width comparison with no type dispatch.  ``_RELEASE_ALL`` is the
+#: merged form used by one-at-a-time admission: the E entry-replica release
+#: events of one data set always occupy adjacent tie-break slots at the same
+#: instant, so folding them into a single event that kicks every entry
+#: replica in declaration order is pop-for-pop identical — and saves E−1
+#: heap operations per data set.
+_RELEASE = 0
+_COMPUTED = 1
+_ARRIVED = 2
+_RELEASE_ALL = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class _ReplicaRun:
-    """Book-keeping of one alive replica during the simulation."""
+    """Book-keeping of one alive replica during the simulation.
+
+    ``__slots__`` (via ``dataclass(slots=True)``): one of these exists per
+    valid replica and its attributes are read on every event — fixed slot
+    offsets beat a per-instance ``__dict__`` on both memory and access time.
+
+    Input tracking is a **bitmask** per data set, not a set of task names:
+    every predecessor task owns one bit (``pred_bit``), a replica may start
+    once ``received[dataset] == full_mask``, and a duplicate arrival (active
+    replication: several source replicas forward the same task's output) is
+    an OR that changes nothing — no per-pair set allocations, no hashing of
+    task names in the hot loop.
+    """
 
     replica: Replica
     processor: str
     duration: float
-    needed: dict[str, int]  # predecessor task -> number of inputs required (always 1)
-    received: dict[int, set[str]] = field(default_factory=dict)  # dataset -> preds satisfied
+    #: predecessor task -> its bit in the input mask (fixed at construction;
+    #: empty for entry replicas, which need no inputs).
+    pred_bit: dict[str, int] = field(default_factory=dict)
+    #: value of ``received[dataset]`` once every input is in.
+    full_mask: int = 0
+    received: dict[int, int] = field(default_factory=dict)  # dataset -> input bitmask
     finished: dict[int, float] = field(default_factory=dict)  # dataset -> scheduled finish
     done: dict[int, float] = field(default_factory=dict)  # dataset -> actual completion
+    #: outgoing communications: ``(destination state, transfer duration,
+    #: destination's bit for this replica's task)`` — resolved once at
+    #: construction so the hot loop never looks anything up by name.
+    links: list = field(default_factory=list)
 
 
 class PipelineKernel:
@@ -82,11 +142,15 @@ class PipelineKernel:
         failed: Iterable[str] = (),
         require_exit_coverage: bool = True,
         valid_replicas: dict[str, list[Replica]] | None = None,
+        retain_history: bool = True,
     ):
         """*valid_replicas* lets a driver that already ran
         :func:`~repro.schedule.validation.valid_replicas_under_failures` for
         *failed* (e.g. the offline simulator's constructor) hand the result
-        over instead of recomputing it here."""
+        over instead of recomputing it here.  *retain_history* selects the
+        memory model (see the module docstring): ``False`` evicts a data
+        set's state at its watermark, bounding live memory by the pipeline
+        depth instead of the stream length."""
         if not schedule.is_complete():
             raise ScheduleError("cannot simulate an incomplete schedule")
         failed = frozenset(failed)
@@ -111,20 +175,24 @@ class PipelineKernel:
         for replica in schedule.all_replicas():
             if replica not in valid_set:
                 continue
+            preds = graph.predecessors(replica.task)
+            pred_bit = {pred: 1 << i for i, pred in enumerate(preds)}
             self._states[replica] = _ReplicaRun(
                 replica=replica,
                 processor=schedule.processor_of(replica),
                 duration=schedule.execution_time_of(replica),
-                needed={pred: 1 for pred in graph.predecessors(replica.task)},
+                pred_bit=pred_bit,
+                full_mask=(1 << len(preds)) - 1,
             )
-        self._entry_states = [s for s in self._states.values() if not s.needed]
+        self._entry_states = [s for s in self._states.values() if not s.pred_bit]
 
-        # communications between valid replicas only
-        self._comm_links: dict[Replica, list[tuple[Replica, float]]] = {}
+        # communications between valid replicas only, resolved to run states
+        # (including the receiver's input bit for the sender's task)
         for event in schedule.comm_events:
             if event.source in self._states and event.destination in self._states:
-                self._comm_links.setdefault(event.source, []).append(
-                    (event.destination, event.duration)
+                dst = self._states[event.destination]
+                self._states[event.source].links.append(
+                    (dst, event.duration, dst.pred_bit[event.source.task])
                 )
 
         names = schedule.platform.processor_names
@@ -140,6 +208,13 @@ class PipelineKernel:
         self._completion: dict[int, float] = {}
         self._admitted: dict[int, float] = {}  # dataset -> release instant
         self._fresh: list[tuple[int, float]] = []  # completions since last drain
+        self.retain_history = bool(retain_history)
+        #: dataset -> outstanding events referencing it (eviction mode only);
+        #: ``None`` is the retained mode's zero-overhead marker.
+        self._refs: dict[int, int] | None = None if self.retain_history else {}
+        self._evicted = 0
+        self._max_evicted = -1  # highest retired index: re-admission guard
+        self._peak_live = 0
 
     # ------------------------------------------------------------------ queries
     @property
@@ -149,16 +224,32 @@ class PipelineKernel:
 
     @property
     def completions(self) -> dict[int, float]:
-        """Completion instant of every completed data set."""
+        """Completion instant of every completed, non-evicted data set."""
         return dict(self._completion)
 
     def completion_of(self, dataset: int) -> float | None:
-        """Completion instant of *dataset* (``None`` while in flight)."""
+        """Completion instant of *dataset* (``None`` while in flight — or,
+        with ``retain_history=False``, once it has been evicted)."""
         return self._completion.get(dataset)
 
     def pending_datasets(self) -> tuple[int, ...]:
         """Admitted data sets that have not completed yet, in admission order."""
         return tuple(j for j in self._admitted if j not in self._completion)
+
+    @property
+    def live_datasets(self) -> int:
+        """Data sets currently holding kernel state (admitted, not evicted)."""
+        return len(self._admitted)
+
+    @property
+    def evicted_datasets(self) -> int:
+        """Data sets whose state has been retired at their watermark."""
+        return self._evicted
+
+    @property
+    def peak_live_datasets(self) -> int:
+        """High-water mark of :attr:`live_datasets` over the run so far."""
+        return max(self._peak_live, len(self._admitted))
 
     def completed_tasks(self, dataset: int) -> frozenset[str]:
         """Tasks whose output for *dataset* has actually been produced.
@@ -176,8 +267,10 @@ class PipelineKernel:
     def admit(self, dataset: int, release: float) -> None:
         """Admit one data set: entry replicas receive it at *release*."""
         self._register(dataset, release)
-        for state in self._entry_states:
-            self._queue.push(release, _RELEASE, (state.replica, dataset))
+        refs = self._refs
+        if refs is not None:
+            refs[dataset] = refs.get(dataset, 0) + 1
+        self._queue.push(release, _RELEASE_ALL, (dataset,))
 
     def admit_batch(self, releases: Sequence[float], first_index: int = 0) -> None:
         """Admit a whole stream up front (offline-simulator event order).
@@ -189,9 +282,58 @@ class PipelineKernel:
         """
         for k, release in enumerate(releases):
             self._register(first_index + k, release)
+        refs = self._refs
+        if refs is not None:
+            entries = len(self._entry_states)
+            for k in range(len(releases)):
+                j = first_index + k
+                refs[j] = refs.get(j, 0) + entries
         for state in self._entry_states:
             for k, release in enumerate(releases):
-                self._queue.push(release, _RELEASE, (state.replica, first_index + k))
+                self._queue.push(release, _RELEASE, (state, first_index + k))
+
+    def admit_batch_vectorized(
+        self, num_datasets: int, period: float, first_index: int = 0, offset: float = 0.0
+    ) -> None:
+        """Admit the uniform stream ``release(j) = offset + j·period`` at once.
+
+        Event-for-event identical to :meth:`admit_batch` on
+        ``[offset + k * period for k in range(num_datasets)]`` (numpy computes
+        the same IEEE-754 products), but the release instants come from one
+        ``numpy.arange`` and the ``num_datasets × entry_replicas`` release
+        events land in the queue through a single ``heapify`` instead of one
+        ``heappush`` each — O(n) instead of O(n log n), with no Python-level
+        arithmetic per data set.  This is the admission path for 10⁵+-dataset
+        streams.
+        """
+        if num_datasets < 1:
+            raise ScheduleError(f"num_datasets must be >= 1, got {num_datasets}")
+        if period < 0 or offset < 0:
+            raise ScheduleError("period and offset must be non-negative")
+        indices = range(first_index, first_index + num_datasets)
+        times = (np.arange(num_datasets, dtype=np.float64) * period + offset).tolist()
+        if first_index <= self._max_evicted:
+            raise ScheduleError(f"data set {first_index} was already admitted")
+        if self._admitted:
+            for j in indices:
+                if j in self._admitted:
+                    raise ScheduleError(f"data set {j} was already admitted")
+        self._admitted.update(zip(indices, times))
+        refs = self._refs
+        if refs is not None:
+            entries = len(self._entry_states)
+            refs.update((j, refs.get(j, 0) + entries) for j in indices)
+        queue = self._queue
+        heap = queue.heap
+        seq = queue.next_seq()
+        for state in self._entry_states:
+            heap.extend(
+                (t, s, _RELEASE, (state, j))
+                for s, (j, t) in enumerate(zip(indices, times), start=seq)
+            )
+            seq += num_datasets
+        queue.set_next_seq(seq)
+        heapq.heapify(heap)
 
     def admit_restored(
         self, dataset: int, restore: float, done_tasks: Iterable[str] = ()
@@ -205,31 +347,40 @@ class PipelineKernel:
         """
         done = frozenset(done_tasks)
         self._register(dataset, restore)
+        exit_done = self._exit_done.setdefault(dataset, {})
         for task in done:
             if task in self._exit_tasks:
-                self._exit_done[dataset][task] = restore
-        if self._exit_done[dataset] and len(self._exit_done[dataset]) == len(
-            self._exit_tasks
-        ):
+                exit_done[task] = restore
+        if exit_done and len(exit_done) == len(self._exit_tasks):
             self._complete(dataset, restore)
+            if self._refs is not None and not self._refs.get(dataset):
+                self._evict(dataset)
             return
+        refs = self._refs
         for state in self._states.values():
             if state.replica.task in done:
                 state.finished[dataset] = restore
                 state.done[dataset] = restore
                 continue
-            if state.needed:
-                got = state.received.setdefault(dataset, set())
-                got.update(done.intersection(state.needed))
-                if len(got) < len(state.needed):
+            if state.pred_bit:
+                bits = state.received.get(dataset, 0)
+                for task in done.intersection(state.pred_bit):
+                    bits |= state.pred_bit[task]
+                state.received[dataset] = bits
+                if bits != state.full_mask:
                     continue
-            self._queue.push(restore, _RELEASE, (state.replica, dataset))
+            if refs is not None:
+                refs[dataset] = refs.get(dataset, 0) + 1
+            self._queue.push(restore, _RELEASE, (state, dataset))
 
     def _register(self, dataset: int, release: float) -> None:
-        if dataset in self._admitted:
+        if dataset in self._admitted or dataset <= self._max_evicted:
+            # the second arm keeps the duplicate-admission guard alive in
+            # evicting mode: a retired index left no per-dataset record to
+            # collide with, but the eviction watermark (indices are admitted
+            # in increasing order by every driver) still catches the reuse
             raise ScheduleError(f"data set {dataset} was already admitted")
         self._admitted[dataset] = release
-        self._exit_done[dataset] = {}
 
     # ----------------------------------------------------------------- failures
     def crash(self, processor: str) -> None:
@@ -260,20 +411,155 @@ class PipelineKernel:
     def _run_loop(self, limit: float | None) -> None:
         """The hot loop: pop and dispatch events (bounded by *limit* if given).
 
-        Reads the raw heap directly — one Python-level call per event instead
-        of three keeps the kernel as fast as the pre-extraction closure-based
-        simulator loop.
+        One flat function, everything in locals: the event arithmetic is a
+        few dict operations per event, so per-event *dispatch* cost — method
+        calls, attribute loads, the push wrapper — used to dominate.  Popping
+        the raw heap, pushing with ``heapq.heappush`` directly (the sequence
+        counter is a local, written back on exit) and inlining the
+        try-to-start logic keeps the kernel at the speed of the
+        pre-extraction closure-based simulator loop.  The eviction watermark
+        (``refs is not None``) settles after each event; the retained mode
+        pays one pointer comparison for the feature.
         """
-        heap = self._queue.heap
+        queue = self._queue
+        heap = queue.heap
         pop = heapq.heappop
-        step = self._step
+        push = heapq.heappush
+        count = queue._count
+        dead = self._dead
+        compute_free = self._compute_free
+        out_free = self._out_free
+        in_free = self._in_free
+        exit_tasks = self._exit_tasks
+        exit_done_map = self._exit_done
+        completion = self._completion
+        fresh = self._fresh
+        entry_states = self._entry_states
+        refs = self._refs
+        evict = self._evict
         now = self._now
+        if refs is not None:
+            live = len(self._admitted)
+            if live > self._peak_live:
+                self._peak_live = live
+
+        def try_start(state: _ReplicaRun, dataset: int) -> None:
+            nonlocal count
+            if dataset in state.finished or state.processor in dead:
+                return
+            if state.full_mask and state.received.get(dataset, 0) != state.full_mask:
+                return
+            free = compute_free[state.processor]
+            start = now if now > free else free
+            finish = start + state.duration
+            compute_free[state.processor] = finish
+            state.finished[dataset] = finish
+            if refs is not None:
+                refs[dataset] += 1
+            count += 1
+            push(heap, (finish, count, _COMPUTED, (state, dataset)))
+
         while heap:
             if limit is not None and heap[0][0] > limit:
                 break
             now, _, kind, payload = pop(heap)
-            step(now, kind, payload)
+            if kind == _ARRIVED:
+                src_state, dst_state, bit, dataset = payload
+                if not dead or (
+                    src_state.processor not in dead
+                    and dst_state.processor not in dead
+                ):
+                    received = dst_state.received
+                    got = received.get(dataset, 0)
+                    new = got | bit
+                    if new != got:
+                        received[dataset] = new
+                        if (
+                            new == dst_state.full_mask
+                            and dataset not in dst_state.finished
+                            and dst_state.processor not in dead
+                        ):
+                            # every input is in: start the compute (inline —
+                            # this is the single most frequent path)
+                            free = compute_free[dst_state.processor]
+                            start = now if now > free else free
+                            finish = start + dst_state.duration
+                            compute_free[dst_state.processor] = finish
+                            dst_state.finished[dataset] = finish
+                            if refs is not None:
+                                refs[dataset] += 1
+                            count += 1
+                            push(heap, (finish, count, _COMPUTED, (dst_state, dataset)))
+                # else: the transfer was in flight when an endpoint died
+            elif kind == _COMPUTED:
+                state, dataset = payload
+                if dead and state.processor in dead:
+                    pass  # the processor died while this compute was in flight
+                else:
+                    state.done[dataset] = now
+                    task = state.replica.task
+                    if task in exit_tasks:
+                        exit_done = exit_done_map.get(dataset)
+                        if exit_done is None:
+                            exit_done = exit_done_map[dataset] = {}
+                        if task not in exit_done:
+                            exit_done[task] = now
+                            if len(exit_done) == len(exit_tasks):
+                                completion[dataset] = now
+                                fresh.append((dataset, now))
+                    # forward the result along every recorded communication
+                    src_proc = state.processor
+                    for dst_state, duration, bit in state.links:
+                        if dead and dst_state.processor in dead:
+                            continue  # no point sending to a dead receiver
+                        if refs is not None:
+                            refs[dataset] += 1
+                        count += 1
+                        if duration == 0.0:
+                            push(heap, (now, count, _ARRIVED, (state, dst_state, bit, dataset)))
+                        else:
+                            start = out_free[src_proc]
+                            if now > start:
+                                start = now
+                            free = in_free[dst_state.processor]
+                            if free > start:
+                                start = free
+                            arrive = start + duration
+                            out_free[src_proc] = arrive
+                            in_free[dst_state.processor] = arrive
+                            push(heap, (arrive, count, _ARRIVED, (state, dst_state, bit, dataset)))
+            elif kind == _RELEASE_ALL:
+                dataset = payload[0]
+                for state in entry_states:
+                    try_start(state, dataset)
+            else:  # _RELEASE: one (replica, data set) kick from batch admission
+                state, dataset = payload
+                try_start(state, dataset)
+            if refs is not None:
+                dataset = payload[-1]
+                left = refs[dataset] - 1
+                if left:
+                    refs[dataset] = left
+                elif dataset in completion:
+                    evict(dataset)
+                else:
+                    refs[dataset] = 0
+        queue._count = count
         self._now = now
+
+    def _evict(self, dataset: int) -> None:
+        """Retire every trace of a completed, quiescent data set (watermark)."""
+        for state in self._states.values():
+            state.received.pop(dataset, None)
+            state.finished.pop(dataset, None)
+            state.done.pop(dataset, None)
+        self._exit_done.pop(dataset, None)
+        self._admitted.pop(dataset, None)
+        self._completion.pop(dataset, None)
+        self._refs.pop(dataset, None)
+        self._evicted += 1
+        if dataset > self._max_evicted:
+            self._max_evicted = dataset
 
     def _drain(self) -> list[tuple[int, float]]:
         fresh, self._fresh = self._fresh, []
@@ -282,61 +568,3 @@ class PipelineKernel:
     def _complete(self, dataset: int, time: float) -> None:
         self._completion[dataset] = time
         self._fresh.append((dataset, time))
-
-    def _try_start(self, state: _ReplicaRun, dataset: int, now: float) -> None:
-        """Start the compute of (replica, dataset) if all inputs are in."""
-        if dataset in state.finished:
-            return
-        if state.processor in self._dead:
-            return
-        got = state.received.get(dataset, set())
-        if len(got) < len(state.needed):
-            return
-        start = max(now, self._compute_free[state.processor])
-        finish = start + state.duration
-        self._compute_free[state.processor] = finish
-        state.finished[dataset] = finish
-        self._queue.push(finish, _COMPUTED, (state.replica, dataset))
-
-    def _step(self, now: float, kind: str, payload: object) -> None:
-        dead = self._dead
-        if kind == _RELEASE:
-            replica, dataset = payload
-            self._try_start(self._states[replica], dataset, now)
-        elif kind == _COMPUTED:
-            replica, dataset = payload
-            state = self._states[replica]
-            if state.processor in dead:
-                return  # the processor died while this compute was in flight
-            state.done[dataset] = now
-            task = replica.task
-            exit_done = self._exit_done[dataset]
-            if task in self._exit_tasks and task not in exit_done:
-                exit_done[task] = now
-                if len(exit_done) == len(self._exit_tasks):
-                    self._complete(dataset, now)
-            # forward the result along every recorded communication
-            for destination, duration in self._comm_links.get(replica, ()):
-                if self._states[destination].processor in dead:
-                    continue  # no point sending to a dead receiver
-                if duration == 0.0:
-                    self._queue.push(now, _ARRIVED, (replica, destination, dataset))
-                else:
-                    src_proc = state.processor
-                    dst_proc = self._states[destination].processor
-                    start = max(now, self._out_free[src_proc], self._in_free[dst_proc])
-                    self._out_free[src_proc] = start + duration
-                    self._in_free[dst_proc] = start + duration
-                    self._queue.push(
-                        start + duration, _ARRIVED, (replica, destination, dataset)
-                    )
-        elif kind == _ARRIVED:
-            source, destination, dataset = payload
-            if (
-                self._states[source].processor in dead
-                or self._states[destination].processor in dead
-            ):
-                return  # the transfer was in flight when an endpoint died
-            dst_state = self._states[destination]
-            dst_state.received.setdefault(dataset, set()).add(source.task)
-            self._try_start(dst_state, dataset, now)

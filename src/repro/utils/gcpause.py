@@ -1,0 +1,36 @@
+"""Pause the cyclic garbage collector around allocation-heavy hot loops.
+
+The simulation kernel and the online engine allocate millions of small,
+acyclic objects per run (heap events, payload tuples, per-dataset records).
+None of them form reference cycles — every collection during a long stream
+frees exactly zero objects — yet the collector's generation scans grow with
+the accumulated stream history and turn per-dataset cost super-linear on
+10⁵-dataset streams (~30% of wall clock at 10⁵, measured).
+
+:func:`gc_paused` disables collection for the duration of a run and restores
+the previous state on exit (exceptions included).  Reference counting — the
+thing that actually frees this workload — is unaffected; only the cycle
+detector pauses, and anything cyclic allocated meanwhile is collected at the
+first collection after the pause ends.  Nested pauses are safe (the inner
+one sees collection already disabled and changes nothing).
+"""
+
+from __future__ import annotations
+
+import gc
+from contextlib import contextmanager
+
+__all__ = ["gc_paused"]
+
+
+@contextmanager
+def gc_paused():
+    """Context manager: cyclic GC off inside, previous state restored after."""
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()

@@ -258,3 +258,117 @@ class TestCampaignCaching:
         warm = session.monte_carlo(trials=2, seed=1, cache=tmp_path)
         assert warm.campaign == cold.campaign
         assert warm.summary() == cold.summary()
+
+
+class TestSourceDigestVersion:
+    def test_code_version_carries_a_source_digest(self):
+        version = cache_keys.cache_code_version()
+        from repro import __version__
+
+        assert version.startswith(f"{__version__}+src.")
+        assert version == cache_keys.cache_code_version()  # stable in-process
+
+    def test_source_digest_changes_with_content_and_layout(self, tmp_path):
+        (tmp_path / "m.py").write_text("x = 1\n")
+        baseline = cache_keys.source_digest.__wrapped__(str(tmp_path))
+        (tmp_path / "m.py").write_text("x = 2\n")
+        edited = cache_keys.source_digest.__wrapped__(str(tmp_path))
+        assert edited != baseline
+        (tmp_path / "extra.py").write_text("")
+        grown = cache_keys.source_digest.__wrapped__(str(tmp_path))
+        assert grown not in (baseline, edited)
+
+    def test_editing_execution_source_rekeys_the_cache(self, monkeypatch):
+        """The stale-checkout hazard: a source edit must change every key."""
+        before = campaign_key(SPEC, seed=1, trials=2)
+        monkeypatch.setattr(
+            cache_keys, "cache_code_version", lambda: "1.0.0+src.feedfeedfeed"
+        )
+        assert campaign_key(SPEC, seed=1, trials=2) != before
+
+
+class TestCacheMaintenance:
+    def _fill(self, cache, n=4, size=1000):
+        for i in range(n):
+            cache.put("ab" + f"{i:062x}", b"x" * size)
+
+    def test_entries_and_usage(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.usage().entries == 0
+        self._fill(cache, n=3)
+        (tmp_path / "stray.txt").write_text("not an entry")
+        entries = list(cache.entries())
+        assert len(entries) == 3
+        usage = cache.usage()
+        assert usage.entries == 3
+        assert usage.total_bytes == sum(e.size for e in entries)
+        assert usage.oldest_used <= usage.newest_used
+        assert (tmp_path / "stray.txt").exists()  # never deleted
+
+    def test_gc_evicts_lru_first_and_respects_bound(self, tmp_path):
+        import os
+
+        cache = DiskCache(tmp_path)
+        self._fill(cache, n=4)
+        entries = sorted(cache.entries(), key=lambda e: e.key)
+        # make entry 0 the stalest and entry 1 the freshest by far
+        os.utime(entries[0].path, (1, 1))
+        os.utime(entries[1].path, (2_000_000_000, 2_000_000_000))
+        keep = cache.usage().total_bytes - entries[0].size
+        evicted = cache.gc(keep)
+        assert [e.key for e in evicted] == [entries[0].key]
+        assert cache.usage().total_bytes <= keep
+
+    def test_gc_zero_empties_and_lookup_recomputes(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = campaign_key(SPEC, seed=0, trials=2)
+        cache.put(key, "payload")
+        assert cache.gc(0) != []
+        assert cache.usage().entries == 0
+        assert cache.get(key) is MISS  # clean miss, not an error
+
+    def test_hits_touch_the_entry(self, tmp_path):
+        import os
+
+        cache = DiskCache(tmp_path)
+        cache.put("ab" + "0" * 62, "a")
+        cache.put("cd" + "0" * 62, "b")
+        stale, fresh = sorted(cache.entries(), key=lambda e: e.key)
+        os.utime(stale.path, (1, 1))
+        os.utime(fresh.path, (2, 2))
+        assert cache.get(stale.key) == "a"  # the hit must refresh its mtime
+        ordered = sorted(cache.entries(), key=lambda e: e.used)
+        assert ordered[0].key == fresh.key
+        assert cache.gc(max(fresh.size, stale.size)) [0].key == fresh.key
+
+    def test_gc_rejects_negative_bound(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path).gc(-1)
+
+    def test_cli_cache_ls_and_gc(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = DiskCache(tmp_path / "c")
+        self._fill(cache, n=3, size=2048)
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "3" in out
+        assert main(
+            ["cache", "gc", "--max-size", "3K", "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert cache.usage().total_bytes <= 3 * 1024
+
+
+def test_cache_gc_size_argument_rejects_garbage():
+    import argparse
+
+    from repro.cli import _parse_size
+
+    assert _parse_size("2K") == 2048
+    assert _parse_size("0") == 0
+    assert _parse_size("1.5M") == int(1.5 * 1024**2)
+    for bad in ("inf", "nan", "-1", "-2K", "bogus", "12Q"):
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_size(bad)

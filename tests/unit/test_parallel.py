@@ -152,3 +152,129 @@ class TestCampaignJobs:
         serial = baseline_comparison(TINY, jobs=1)
         fanned = baseline_comparison(TINY, jobs=2)
         assert serial.series == fanned.series
+
+
+class TestChunkedTransport:
+    def test_explicit_chunksize_matches_serial(self):
+        items = list(range(23))
+        expected = [x * x for x in items]
+        assert parallel_map(_square, items, jobs=3, chunksize=5) == expected
+        assert parallel_map(_square, items, jobs=3, chunksize=1) == expected
+        assert parallel_map(_square, items, jobs=3) == expected  # auto chunking
+
+    def test_auto_chunksize_aims_at_four_chunks_per_worker(self):
+        # the heuristic itself: len // (workers * 4), floored at 1
+        assert max(1, 100 // (4 * 4)) == 6
+        assert max(1, 3 // (2 * 4)) == 1
+
+
+class TestStatsReduction:
+    def test_stats_reduce_equals_trace_summaries(self):
+        """Acceptance: reduce='stats' stats ≡ summarize_traces(reduce='traces')."""
+        from repro.runtime.trace import summarize_traces
+
+        full = run_runtime_campaign(SPEC.to_scenario(), trials=4, seed=3)
+        lean = run_runtime_campaign(
+            SPEC.to_scenario(), trials=4, seed=3, reduce="stats"
+        )
+        assert lean.stats == full.stats == summarize_traces(full.traces)
+        assert lean.trial_seeds == full.trial_seeds
+        assert lean.traces is None and lean.reduce == "stats"
+        assert full.summaries is None and full.reduce == "traces"
+        assert lean.trials == full.trials == 4
+
+    def test_stats_reduce_is_jobs_invariant(self):
+        serial = run_runtime_campaign(
+            SPEC.to_scenario(), trials=4, seed=2, jobs=1, reduce="stats"
+        )
+        fanned = run_runtime_campaign(
+            SPEC.to_scenario(), trials=4, seed=2, jobs=4, reduce="stats"
+        )
+        assert fanned == serial
+
+    def test_stats_payload_is_a_fraction_of_traces(self):
+        # trace pickles grow with the stream (one record per data set);
+        # summaries do not — at a realistic stream length the acceptance bar
+        # is ≥10× less transfer
+        import pickle
+
+        spec = SPEC.with_overrides(num_datasets=200).to_scenario()
+        full = run_runtime_campaign(spec, trials=2, seed=3)
+        lean = run_runtime_campaign(spec, trials=2, seed=3, reduce="stats")
+        assert len(pickle.dumps(lean)) * 10 < len(pickle.dumps(full))
+
+    def test_combine_summaries_is_summarize_traces(self):
+        from repro.runtime.trace import (
+            combine_summaries,
+            summarize_trace,
+            summarize_traces,
+        )
+
+        traces = [run_trial(SPEC, seed) for seed in (0, 5, 9)]
+        assert combine_summaries(map(summarize_trace, traces)) == summarize_traces(
+            traces
+        )
+
+    def test_invalid_reduce_rejected(self):
+        with pytest.raises(ValueError, match="reduce"):
+            run_runtime_campaign(SPEC.to_scenario(), trials=2, seed=0, reduce="bogus")
+
+    def test_campaign_result_requires_exactly_one_payload(self):
+        from repro.experiments.parallel import RuntimeCampaignResult
+
+        with pytest.raises(ValueError, match="exactly one"):
+            RuntimeCampaignResult(
+                spec=SPEC.to_scenario(), seed=0, trial_seeds=(1,), traces=None
+            )
+
+    def test_session_monte_carlo_stats_mode(self):
+        from repro.api import Session
+
+        session = Session(SPEC.to_scenario())
+        full = session.monte_carlo(trials=2, seed=1)
+        lean = session.monte_carlo(trials=2, seed=1, reduce="stats")
+        assert lean.stats == full.stats
+        assert lean.summary() == full.summary()
+        with pytest.raises(ValueError, match="reduce='stats'"):
+            lean.traces
+
+    def test_suite_stats_reduce_matches_traces(self):
+        """The sweep report is identical whichever payload the workers ship."""
+        from repro.api import Session
+
+        session = Session(SPEC.to_scenario())
+        axes = {"faults.mttf_periods": [30.0, 60.0]}
+        full = session.sweep(axes, trials=2, seed=4)
+        lean = session.sweep(axes, trials=2, seed=4, reduce="stats")
+        fanned = session.sweep(axes, trials=2, seed=4, reduce="stats", jobs=3)
+        assert [p.stats for p in lean.points] == [p.stats for p in full.points]
+        assert [p.seed for p in lean.points] == [p.seed for p in full.points]
+        assert fanned.points == lean.points
+        assert lean.panel(metric="availability") == full.panel(metric="availability")
+
+    def test_suite_flattened_fanout_is_jobs_invariant(self):
+        """trials × points share one pool; any jobs value is bit-identical."""
+        serial = run_runtime_sweep(
+            SPEC, mttf_grid=(30.0, 60.0), mttr_grid=(None,), shapes=(1.0,),
+            trials=3, seed=6, jobs=1,
+        )
+        fanned = run_runtime_sweep(
+            SPEC, mttf_grid=(30.0, 60.0), mttr_grid=(None,), shapes=(1.0,),
+            trials=3, seed=6, jobs=4,
+        )
+        assert fanned.points == serial.points
+        assert [p.campaign for p in fanned.sweep.points] == [
+            p.campaign for p in serial.sweep.points
+        ]
+
+    def test_cli_reduce_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "runtime", "--trials", "2", "--datasets", "20", "--tasks", "12",
+                "--processors", "6", "--epsilon", "1", "--reduce", "stats",
+            ]
+        )
+        assert code == 0
+        assert "availability" in capsys.readouterr().out

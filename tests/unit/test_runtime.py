@@ -8,6 +8,8 @@ from repro.core.rltf import rltf_schedule
 from repro.exceptions import ScheduleError, SchedulingError
 from repro.failures.scenarios import FaultEvent, FaultTrace, sample_fault_trace
 from repro.failures.simulator import simulate_stream
+from repro.graph.examples import figure2_graph
+from repro.platform.builders import figure2_platform
 from repro.runtime.admission import (
     ADMISSION_POLICIES,
     QueueAdmissionPolicy,
@@ -15,6 +17,7 @@ from repro.runtime.admission import (
     resolve_admission,
 )
 from repro.runtime.engine import OnlineRuntime, run_online
+from repro.runtime.montecarlo import RuntimeTrialSpec, run_trial
 from repro.runtime.policies import (
     RESCHEDULE_POLICIES,
     RemapReschedulePolicy,
@@ -577,3 +580,116 @@ class TestRuntimeCli:
         assert main(args) == 0
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestGoldenSeedResults:
+    """Frozen fingerprints of seeded runs, captured before the kernel fast
+    path landed (evicting kernel, windowed admission, bitmask inputs, merged
+    release events) and verified bit-identical across it.  Any change to
+    these numbers means the optimized hot path altered simulation semantics —
+    which the fast path, by contract, must never do.
+    """
+
+    SPEC = RuntimeTrialSpec(
+        num_tasks=20,
+        num_processors=8,
+        epsilon=2,
+        num_datasets=80,
+        mttf_periods=30.0,
+        mttr_periods=10.0,
+    )
+
+    @staticmethod
+    def _fingerprint(trace) -> str:
+        import hashlib
+
+        blob = repr(
+            (
+                trace.records,
+                trace.events,
+                trace.period,
+                trace.horizon,
+                trace.num_rebuilds,
+                trace.downtime,
+                trace.aborted,
+                trace.final_alive,
+                trace.policy,
+                trace.admission,
+                trace.checkpoint,
+            )
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    @pytest.mark.parametrize(
+        "seed, fingerprint, completed, rebuilds",
+        [
+            (0, "71704f6b34ebc649", 76, 4),
+            (1, "a3043dfb8cf41718", 74, 4),
+            (7, "819208a9ae8b1fee", 78, 2),
+        ],
+    )
+    def test_shed_admission_goldens(self, seed, fingerprint, completed, rebuilds):
+        trace = run_trial(self.SPEC, seed)
+        assert trace.completed_count == completed
+        assert trace.num_rebuilds == rebuilds
+        assert self._fingerprint(trace) == fingerprint
+
+    def test_queue_admission_with_repair_rebuilds_golden(self):
+        spec = self.SPEC.with_overrides(admission="queue", rebuild_on_repair=True)
+        trace = run_trial(spec, 3)
+        assert trace.completed_count == 80
+        assert trace.num_rebuilds == 10
+        assert self._fingerprint(trace) == "3b4989b521b3a713"
+
+
+class TestAdmissionWindowInvariance:
+    """The control-loop admission window is a transport knob, never semantics:
+    checkpoint=True traces are identical for any window size, and
+    checkpoint=False (flush-and-restart, whose batches must never be split at
+    a window boundary) bypasses the window entirely — its traces stay
+    bit-identical to the historical unwindowed engine.
+    """
+
+    @staticmethod
+    def _crashy_case():
+        schedule = ltf_schedule(
+            figure2_graph(), figure2_platform(10), throughput=0.05, epsilon=1,
+            strict_resilience=True,
+        )
+        victim = schedule.used_processors()[0]
+        n = 600  # several windows long, so boundaries really interleave
+        events = (FaultEvent(2.5 * schedule.period, victim, "crash"),)
+        return schedule, FaultTrace(events, horizon=n * schedule.period), n
+
+    @pytest.mark.parametrize("checkpoint", [True, False])
+    def test_window_size_never_changes_traces(self, checkpoint, monkeypatch):
+        import repro.runtime.engine as engine_mod
+
+        schedule, faults, n = self._crashy_case()
+        run = lambda: OnlineRuntime(
+            schedule, faults, checkpoint=checkpoint, rebuild_beyond_epsilon=False
+        ).run(n)
+        reference = run()
+        monkeypatch.setattr(engine_mod, "_ADMIT_WINDOW", 10)
+        tiny = run()
+        monkeypatch.setattr(engine_mod, "_ADMIT_WINDOW", 10**9)
+        unwindowed = run()
+        assert tiny == reference == unwindowed
+
+    def test_flush_mode_golden(self):
+        """Fingerprint verified equal to the pre-fast-path engine (HEAD of
+        PR 4) on this exact scenario — the flush executor's batch-sealing
+        semantics must keep reproducing the historical traces."""
+        import hashlib
+
+        schedule, faults, n = self._crashy_case()
+        trace = OnlineRuntime(
+            schedule, faults, checkpoint=False, rebuild_beyond_epsilon=False
+        ).run(n)
+        blob = repr(
+            (trace.records, trace.events, trace.downtime, trace.num_rebuilds)
+        )
+        assert (
+            hashlib.sha256(blob.encode()).hexdigest()
+            == "101d259acd1803e36880e2827d6d31ece72e7420ed220e9a2be076d4e0969dac"
+        )

@@ -23,24 +23,51 @@ def strict():
 class TestEventQueue:
     def test_orders_by_time(self):
         q = EventQueue()
-        q.push(3.0, "a", 1)
-        q.push(1.0, "b", 2)
-        q.push(2.0, "c", 3)
+        q.push(3.0, 0, 1)
+        q.push(1.0, 1, 2)
+        q.push(2.0, 2, 3)
         assert [q.pop()[0] for _ in range(3)] == [1.0, 2.0, 3.0]
 
     def test_fifo_on_ties(self):
         q = EventQueue()
         for k in range(5):
-            q.push(1.0, "e", k)
+            q.push(1.0, 0, k)
         assert [q.pop()[2] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_kind_never_participates_in_ordering(self):
+        # (time, seq) is always a unique sort key: same-time events pop in
+        # push order even when their kinds sort the other way
+        q = EventQueue()
+        q.push(1.0, 9, "first")
+        q.push(1.0, 0, "second")
+        assert [q.pop()[2] for _ in range(2)] == ["first", "second"]
 
     def test_clock_tracks_last_pop(self):
         q = EventQueue()
-        q.push(4.5, "e", None)
+        q.push(4.5, 0, None)
         assert q.now == 0.0
         q.pop()
         assert q.now == 4.5
         assert not q
+
+    def test_batch_sequence_numbering_matches_push(self):
+        """next_seq/set_next_seq let batch admission hand-build heap entries
+        with exactly the sequence numbers a push loop would have drawn."""
+        import heapq
+
+        import pytest
+
+        q = EventQueue()
+        q.push(5.0, 0, "pushed")
+        seq = q.next_seq()
+        q.heap.extend((1.0, s, 0, f"batch{i}") for i, s in enumerate((seq, seq + 1)))
+        q.set_next_seq(seq + 2)
+        heapq.heapify(q.heap)
+        assert [q.pop()[2] for _ in range(3)] == ["batch0", "batch1", "pushed"]
+        q.push(0.5, 0, "after")  # the counter really advanced past the batch
+        assert q.pop() == (0.5, 0, "after")
+        with pytest.raises(ValueError):
+            q.set_next_seq(1)  # sequence numbers must never move backwards
 
 
 class TestBatchKernel:
