@@ -22,6 +22,9 @@ Two layers:
     constant-memory kernel fast path on a long (10⁵ data sets at full scale)
     zero-fault stream: the number CI's trajectory gate watches for
     regressions (see ``benchmarks/bench_trajectory.py``);
+  * ``obs_overhead`` — the same long stream with and without a
+    ``repro.obs.MetricsProbe`` attached: the instrumentation must be (near)
+    free when off and cheap when on;
   * ``sweep_transport_bytes`` — pickled campaign payload per sweep point in
     ``reduce="traces"`` vs ``reduce="stats"`` worker mode: the bytes a worker
     ships back through the process pool for one grid point;
@@ -154,6 +157,18 @@ def run_report(smoke: bool = False) -> dict:
         repeat=2,
     )
 
+    # --- instrumentation overhead: the same long stream with a MetricsProbe
+    # attached; the probe-off number above is the contract (the hot loop pays
+    # one `is None` check per event when no probe is installed)
+    from repro.obs import MetricsProbe
+
+    probe_seconds = _time(
+        lambda: OnlineRuntime(
+            long_schedule, long_empty, checkpoint=True, probe=MetricsProbe()
+        ).run(long_n),
+        repeat=2,
+    )
+
     # --- per-point transport of the two worker reductions
     transport_spec = SPEC.with_overrides(num_datasets=200).to_scenario()
     transport_trials = 3 if smoke else 10
@@ -197,6 +212,14 @@ def run_report(smoke: bool = False) -> dict:
             "seconds": long_seconds,
         },
         "long_stream_datasets_per_sec": long_n / long_seconds if long_seconds else 0.0,
+        "obs_overhead": {
+            "datasets": long_n,
+            "probe_off_seconds": long_seconds,
+            "probe_on_seconds": probe_seconds,
+            "overhead_fraction": (
+                (probe_seconds - long_seconds) / long_seconds if long_seconds else 0.0
+            ),
+        },
         "sweep_transport_bytes": {
             "datasets": 200,
             "trials": transport_trials,
@@ -234,6 +257,10 @@ def main(argv=None) -> int:
         [
             f"long stream ({report['long_stream']['datasets']:,} data sets)",
             f"{report['long_stream_datasets_per_sec']:,.0f} datasets/s",
+        ],
+        [
+            "obs probe overhead",
+            f"{report['obs_overhead']['overhead_fraction'] * 100:+.1f}%",
         ],
         ["sweep point payload (traces)", f"{transport['traces']:,} B"],
         ["sweep point payload (stats)", f"{transport['stats']:,} B"],

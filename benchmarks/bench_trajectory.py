@@ -28,12 +28,24 @@ HEADLINE = "long_stream_datasets_per_sec"
 
 
 def load_trajectory(path: Path) -> list[dict]:
-    """The recorded points, oldest first ([] for missing/corrupt files)."""
+    """The recorded points, oldest first ([] for missing/corrupt files).
+
+    An empty result is not an error: the first run of a fresh checkout (or
+    an expired CI cache) seeds the baseline instead of gating — the caller
+    logs that the gate was skipped.
+    """
     try:
         points = json.loads(path.read_text())
-    except (OSError, ValueError):
+    except OSError:
+        print(f"trajectory: no file at {path}; starting a fresh trajectory")
         return []
-    return points if isinstance(points, list) else []
+    except ValueError:
+        print(f"trajectory: {path} is not valid JSON; starting a fresh trajectory")
+        return []
+    if not isinstance(points, list):
+        print(f"trajectory: {path} is not a JSON list; starting a fresh trajectory")
+        return []
+    return points
 
 
 def append_point(trajectory: list[dict], report: dict) -> dict:
@@ -66,7 +78,7 @@ def check_regression(
     current = trajectory[-1]
     value = current.get(HEADLINE)
     if value is None:
-        return True, f"no {HEADLINE} in the current report; nothing to gate"
+        return True, f"no {HEADLINE} in the current report; gating skipped"
     for previous in reversed(trajectory[:-1]):
         baseline = previous.get(HEADLINE)
         if baseline and previous.get("smoke") == current.get("smoke"):
@@ -76,7 +88,10 @@ def check_regression(
                 f"(floor {floor:,.0f}, commit {previous.get('commit', '?')[:12]})"
             )
             return value >= floor, verdict
-    return True, f"no comparable previous point; recorded {value:,.0f} as baseline"
+    return True, (
+        f"no comparable previous point; gating skipped — "
+        f"recorded {value:,.0f} as the baseline"
+    )
 
 
 def main(argv=None) -> int:
@@ -93,6 +108,8 @@ def main(argv=None) -> int:
     report = json.loads(Path(args.report).read_text())
     trajectory_path = Path(args.trajectory)
     trajectory = load_trajectory(trajectory_path)
+    if not trajectory:
+        print("trajectory: empty — this run seeds the baseline; gating skipped")
     point = append_point(trajectory, report)
     trajectory_path.write_text(json.dumps(trajectory, indent=2) + "\n")
     ok, verdict = check_regression(trajectory, args.max_regression)
@@ -104,7 +121,11 @@ def main(argv=None) -> int:
             f"{args.max_regression:.0%} against the previous point"
         )
         return 1
-    print(f"recorded {point['commit'][:12]}: {point[HEADLINE]}")
+    value = point[HEADLINE]
+    print(
+        f"recorded {point['commit'][:12]}: "
+        + ("(no headline metric)" if value is None else f"{value:,.0f}")
+    )
     return 0
 
 

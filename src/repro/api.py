@@ -166,6 +166,8 @@ class OnlineResult(Result):
             "lost": trace.lost_count,
             "loss rate": trace.loss_rate,
             "mean latency": trace.mean_latency,
+            "p95 latency": trace.p95_latency,
+            "p99 latency": trace.p99_latency,
             "rebuilds": trace.num_rebuilds,
             "downtime": trace.downtime,
             "availability": trace.availability,
@@ -303,7 +305,7 @@ class Session:
             simulation=simulation,
         )
 
-    def run_online(self, seed: int = 0) -> OnlineResult:
+    def run_online(self, seed: int = 0, probe=None) -> OnlineResult:
         """One seeded online run under the scenario's stochastic failures.
 
         The trace is a pure function of ``(spec, seed)`` and bit-identical to
@@ -312,6 +314,11 @@ class Session:
         schedule come from the per-seed pipeline cache, so
         ``schedule()`` / ``simulate()`` / ``run_online()`` on one seed build
         them once.
+
+        *probe* attaches a :class:`repro.obs.probe.Probe` (e.g.
+        :class:`~repro.obs.probe.MetricsProbe`) to the run; instrumentation
+        observes without perturbing — the trace is identical with and
+        without a probe.
 
         >>> session = Session.from_dict({
         ...     "workload": {"num_tasks": 12, "num_processors": 6},
@@ -329,7 +336,7 @@ class Session:
         return OnlineResult(
             spec=self._spec,
             seed=seed,
-            trace=execute_online(self._spec, workload, schedule, fault_seed),
+            trace=execute_online(self._spec, workload, schedule, fault_seed, probe=probe),
         )
 
     def monte_carlo(

@@ -56,6 +56,16 @@ re-executes only the changed grid points::
     repro-streaming suite run examples/suite.json --smoke          # tiny CI pass
     repro-streaming suite emit > suite.json                        # starter suite
 
+Observability: the latency-distribution report of a suite (a warm cache
+serves it without executing a single point), and per-run instrumentation —
+probe metrics as JSON and a Gantt chart of the stream (SVG, or a
+self-contained HTML page for ``.html`` paths)::
+
+    repro-streaming suite report examples/suite.json
+    repro-streaming suite report examples/suite.json --trajectory BENCH_trajectory.json
+    repro-streaming runtime --metrics metrics.json --gantt run.svg
+    repro-streaming run examples/scenario.json --gantt run.html --sample 0.25
+
 Wide sweeps and big campaigns can ship statistics instead of full traces —
 the worker summarizes each trial before anything crosses the process
 boundary (identical numbers, a tiny fraction of the transfer)::
@@ -317,6 +327,61 @@ def _add_runtime_parser(sub) -> None:
     )
     _add_reduce_option(p)
     _add_cache_options(p)
+    _add_obs_options(p)
+
+
+def _add_obs_options(p: argparse.ArgumentParser, sample: bool = False) -> None:
+    """The observability-export flags shared by ``runtime`` and ``run``."""
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the probe metrics of one instrumented online run "
+            "(counters, gauges, latency histogram, downtime spans) as JSON"
+        ),
+    )
+    p.add_argument(
+        "--gantt",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a Gantt chart of one online run; .html gets a self-"
+            "contained page, any other suffix a static SVG"
+        ),
+    )
+    if sample:
+        p.add_argument(
+            "--sample",
+            type=float,
+            default=None,
+            metavar="P",
+            help=(
+                "sampled trace retention for the --gantt export: keep every "
+                "faulted data set and this fraction of the completed ones "
+                "(seeded, deterministic)"
+            ),
+        )
+
+
+def _export_obs(args: argparse.Namespace, trace, probe) -> None:
+    """Write the ``--gantt`` / ``--metrics`` artifacts of an instrumented run."""
+    import json
+
+    if args.gantt:
+        from repro.obs import sample_trace, write_gantt
+
+        export = trace
+        sample = getattr(args, "sample", None)
+        if sample is not None:
+            export = sample_trace(trace, sample, seed=args.seed)
+        path = write_gantt(export, args.gantt)
+        print(f"gantt: wrote {path} ({len(export.records)} of {len(trace.records)} records)")
+    if args.metrics:
+        path = Path(args.metrics)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(probe.as_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"metrics: wrote {path}")
 
 
 def _add_run_parser(sub) -> None:
@@ -346,6 +411,7 @@ def _add_run_parser(sub) -> None:
             "four modes once — the CI configuration smoke test"
         ),
     )
+    _add_obs_options(p, sample=True)
 
 
 def _add_reduce_option(p: argparse.ArgumentParser) -> None:
@@ -411,39 +477,24 @@ def _add_suite_parser(sub) -> None:
     run_p = ssub.add_parser(
         "run", help="execute every grid point of a suite JSON file"
     )
-    run_p.add_argument("suite", help="path to a suite JSON file")
-    run_p.add_argument(
-        "--jobs", type=int, default=1, help="worker processes for cache-miss points"
-    )
-    run_p.add_argument(
-        "--seed", type=int, default=None, help="override the suite's campaign seed"
-    )
-    run_p.add_argument(
-        "--trials", type=int, default=None, help="override the suite's trials/point"
-    )
-    run_p.add_argument(
-        "--x-axis",
-        default=None,
-        help="suite axis plotted on x in the report panels (default: first axis)",
-    )
-    run_p.add_argument(
-        "--y-axis",
-        default=None,
-        help="suite axis leading the curve labels (default: declaration order)",
-    )
-    run_p.add_argument(
-        "--smoke",
-        action="store_true",
+    _add_suite_exec_options(run_p)
+    report_p = ssub.add_parser(
+        "report",
         help=(
-            "shrink the suite (2 values per axis, 1 trial, short streams) "
-            "and run it — the CI configuration smoke test"
+            "latency-distribution report (p50/p95/p99/max per grid point) of "
+            "a suite — a warm cache serves it without re-executing a point"
         ),
     )
-    run_p.add_argument(
-        "--no-plot", action="store_true", help="print only the tables, no ASCII plots"
+    _add_suite_exec_options(report_p)
+    report_p.add_argument(
+        "--trajectory",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also render this BENCH_trajectory.json benchmark history "
+            "(default: ./BENCH_trajectory.json when present)"
+        ),
     )
-    _add_reduce_option(run_p)
-    _add_cache_options(run_p, cache_by_default=True)
     emit_p = ssub.add_parser(
         "emit", help="print a starter suite JSON (pipe into a suite file)"
     )
@@ -454,13 +505,50 @@ def _add_suite_parser(sub) -> None:
     )
 
 
+def _add_suite_exec_options(p: argparse.ArgumentParser) -> None:
+    """The suite-execution flags shared by ``suite run`` and ``suite report``."""
+    p.add_argument("suite", help="path to a suite JSON file")
+    p.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for cache-miss points"
+    )
+    p.add_argument(
+        "--seed", type=int, default=None, help="override the suite's campaign seed"
+    )
+    p.add_argument(
+        "--trials", type=int, default=None, help="override the suite's trials/point"
+    )
+    p.add_argument(
+        "--x-axis",
+        default=None,
+        help="suite axis plotted on x in the report panels (default: first axis)",
+    )
+    p.add_argument(
+        "--y-axis",
+        default=None,
+        help="suite axis leading the curve labels (default: declaration order)",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "shrink the suite (2 values per axis, 1 trial, short streams) "
+            "and run it — the CI configuration smoke test"
+        ),
+    )
+    p.add_argument(
+        "--no-plot", action="store_true", help="print only the tables, no ASCII plots"
+    )
+    _add_reduce_option(p)
+    _add_cache_options(p, cache_by_default=True)
+
+
 def _run_suite_command(args: argparse.Namespace) -> int:
     from repro.exceptions import SchedulingError
     from repro.scenario.suite import SuiteSpec
 
     if args.suite_command == "emit":
         return _emit_suite(args)
-    from repro.experiments.reporting import render_suite
+    from repro.experiments.reporting import render_latency_report, render_suite
     from repro.experiments.sweep import run_suite
 
     try:
@@ -499,13 +587,54 @@ def _run_suite_command(args: argparse.Namespace) -> int:
             cache=_open_cli_cache(args),
             reduce=args.reduce,
         )
-        report = render_suite(
+        render = (
+            render_latency_report
+            if args.suite_command == "report"
+            else render_suite
+        )
+        report = render(
             result, x_axis=args.x_axis, y_axis=args.y_axis, plot=not args.no_plot
         )
     except (ValueError, SchedulingError) as exc:
         print(f"repro-streaming suite: error: {exc}", file=sys.stderr)
         return 2
     print(report)
+    if args.suite_command == "report":
+        return _report_trajectory(args)
+    return 0
+
+
+def _report_trajectory(args: argparse.Namespace) -> int:
+    """The benchmark-history tail of ``suite report``.
+
+    An explicitly named ``--trajectory`` file must exist and parse; the
+    implicit default (``./BENCH_trajectory.json``) is silently skipped when
+    absent, so the report works outside the repository checkout too.
+    """
+    import json
+
+    from repro.experiments.reporting import render_trajectory
+
+    explicit = args.trajectory is not None
+    path = Path(args.trajectory) if explicit else Path("BENCH_trajectory.json")
+    if not explicit and not path.exists():
+        return 0
+    try:
+        points = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(
+            f"repro-streaming suite: error: cannot read trajectory {path}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if not isinstance(points, list):
+        print(
+            f"repro-streaming suite: error: trajectory {path} is not a JSON list",
+            file=sys.stderr,
+        )
+        return 2
+    print()
+    print(render_trajectory(points, plot=not args.no_plot))
     return 0
 
 
@@ -619,16 +748,24 @@ def _run_cache_command(args: argparse.Namespace) -> int:
             f"{_format_size(after.total_bytes)} remain in {root}"
         )
         return 0
+    print(f"result cache: {root}")
+    if not usage.entries:
+        print("(empty)")
+        return 0
+    now = time.time()
+    entries = sorted(cache.entries(), key=lambda e: (-e.used, e.key))
     rows: list[list[object]] = [
-        ["directory", str(root)],
-        ["entries", usage.entries],
-        ["total size", _format_size(usage.total_bytes)],
+        [e.key[:16], _format_size(e.size), _format_age(now - e.used)]
+        for e in entries
     ]
-    if usage.entries:
-        now = time.time()
-        rows.append(["least recently used", _format_age(now - usage.oldest_used)])
-        rows.append(["most recently used", _format_age(now - usage.newest_used)])
-    print(format_table(["cache", "value"], rows, title="result cache"))
+    rows.append(
+        [f"total ({usage.entries} entries)", _format_size(usage.total_bytes), ""]
+    )
+    print(
+        format_table(
+            ["entry", "size", "last used"], rows, title="result cache entries"
+        )
+    )
     return 0
 
 
@@ -723,6 +860,13 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import run_runtime_sweep
     from repro.utils.ascii import format_table
 
+    if args.sweep and (args.metrics or args.gantt):
+        print(
+            "repro-streaming runtime: error: --metrics/--gantt instrument a "
+            "single online run and cannot be combined with --sweep",
+            file=sys.stderr,
+        )
+        return 2
     try:
         spec = _scenario_from_flags(args, name="runtime-cli")
         if args.sweep:
@@ -739,13 +883,22 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
             )
             print(render_sweep(sweep, plot=not args.no_plot))
             return 0
-        result = Session(spec).monte_carlo(
+        session = Session(spec)
+        result = session.monte_carlo(
             trials=args.trials,
             seed=args.seed,
             jobs=args.jobs,
             cache=_open_cli_cache(args),
             reduce=args.reduce,
         )
+        probe = online = None
+        if args.metrics or args.gantt:
+            # one instrumented run of the campaign's seed: the exported
+            # metrics/Gantt describe trial 0, not the aggregate
+            from repro.obs import MetricsProbe
+
+            probe = MetricsProbe()
+            online = session.run_online(args.seed, probe=probe)
     except (ValueError, SchedulingError) as exc:
         print(f"repro-streaming runtime: error: {exc}", file=sys.stderr)
         return 2
@@ -755,6 +908,8 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
         + ("" if args.mttr is None else f", mttr {args.mttr:g}Δ")
     )
     print(format_table(["statistic", "value"], result.as_rows(), title=title))
+    if probe is not None:
+        _export_obs(args, online.trace, probe)
     return 0
 
 
@@ -775,6 +930,21 @@ def _run_run_command(args: argparse.Namespace) -> int:
         return 2
     except ValueError as exc:
         print(f"repro-streaming run: error: {exc}", file=sys.stderr)
+        return 2
+
+    if (args.metrics or args.gantt) and (args.smoke or args.mode != "online"):
+        print(
+            "repro-streaming run: error: --metrics/--gantt instrument a "
+            "single online run (--mode online, without --smoke)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sample is not None and not args.gantt:
+        print(
+            "repro-streaming run: error: --sample only thins the --gantt "
+            "export; pass --gantt too",
+            file=sys.stderr,
+        )
         return 2
 
     spec = session.spec
@@ -800,7 +970,12 @@ def _run_run_command(args: argparse.Namespace) -> int:
         elif args.mode == "simulate":
             result = session.simulate(seed=args.seed)
         elif args.mode == "online":
-            result = session.run_online(args.seed)
+            probe = None
+            if args.metrics or args.gantt:
+                from repro.obs import MetricsProbe
+
+                probe = MetricsProbe()
+            result = session.run_online(args.seed, probe=probe)
         else:
             result = session.monte_carlo(
                 trials=args.trials, seed=args.seed, jobs=args.jobs
@@ -809,6 +984,8 @@ def _run_run_command(args: argparse.Namespace) -> int:
         print(f"repro-streaming run: error: {exc}", file=sys.stderr)
         return 2
     _print_result(result, f"{spec.name} — {args.mode} (seed {args.seed})")
+    if args.mode == "online" and probe is not None:
+        _export_obs(args, result.trace, probe)
     return 0
 
 

@@ -18,6 +18,8 @@ __all__ = [
     "render_example_rows",
     "render_sweep",
     "render_suite",
+    "render_latency_report",
+    "render_trajectory",
 ]
 
 
@@ -101,6 +103,87 @@ def render_suite(
         for metric in SWEEP_METRICS
     ]
     return "\n\n".join(["\n".join(lines), table, *panels])
+
+
+def render_latency_report(
+    result: "SweepResult",
+    x_axis: str | None = None,
+    y_axis: str | None = None,
+    plot: bool = True,
+) -> str:
+    """Render the ``suite report`` latency-distribution view of a suite run.
+
+    Same pivoting rules as :func:`render_suite`, but the metric columns and
+    panels are the :data:`~repro.experiments.sweep.REPORT_METRICS` latency
+    distribution (p50/p95/p99/max/mean) instead of the availability-centric
+    :data:`~repro.experiments.sweep.SWEEP_METRICS`.  On a warm cache the
+    whole report is served without executing a single point — the cache line
+    says so explicitly.
+    """
+    from repro.experiments.sweep import REPORT_METRICS
+
+    suite = result.suite
+    lines = [
+        f"Latency report — suite "
+        f"{suite.describe(trials=result.trials, seed=result.seed)}",
+        _cache_line(result),
+        "percentiles are fixed-bucket upper edges (≤ ~8.5% high); max is exact",
+    ]
+    headers = [*suite.axes, *REPORT_METRICS, "source"]
+    rows = []
+    for point in result.points:
+        stats = point.stats
+        rows.append(
+            [
+                *[point.value_of(path) for path in suite.axes],
+                *[getattr(stats, attr) for attr in REPORT_METRICS.values()],
+                "cache" if point.cached else "run",
+            ]
+        )
+    table = format_table(headers, rows, title="latency by grid point")
+    if not suite.axes:
+        return "\n\n".join(["\n".join(lines), table])
+    panels = [
+        render_series(result.panel(x_axis, metric, y_axis=y_axis), plot=plot)
+        for metric in REPORT_METRICS
+    ]
+    return "\n\n".join(["\n".join(lines), table, *panels])
+
+
+def render_trajectory(points: Sequence[dict], plot: bool = True) -> str:
+    """Render the cross-commit benchmark trajectory (``BENCH_trajectory.json``).
+
+    One row per recorded point — commit, run kind, the headline
+    ``long_stream_datasets_per_sec`` throughput — plus an ASCII plot of the
+    headline history (smoke and full runs are separate curves: they execute
+    different stream lengths and must not be read as one series).
+    """
+    headline = "long_stream_datasets_per_sec"
+    if not points:
+        return "benchmark trajectory: no recorded points"
+    rows = []
+    series: dict[str, list[float]] = {}
+    for point in points:
+        value = point.get(headline)
+        kind = "smoke" if point.get("smoke") else "full"
+        rows.append(
+            [
+                str(point.get("commit", "?"))[:12],
+                kind,
+                float("nan") if value is None else float(value),
+            ]
+        )
+        series.setdefault(f"{kind} datasets/s", []).append(
+            float("nan") if value is None else float(value)
+        )
+    table = format_table(
+        ["commit", "kind", "datasets/s"],
+        rows,
+        title=f"benchmark trajectory — {len(points)} points",
+    )
+    if not plot:
+        return table
+    return table + "\n\n" + ascii_plot(series)
 
 
 def render_example_rows(rows: Sequence[ExampleRow], title: str) -> str:

@@ -53,6 +53,7 @@ __all__ = [
     "RuntimeSweepResult",
     "run_runtime_sweep",
     "SWEEP_METRICS",
+    "REPORT_METRICS",
     "SuitePointResult",
     "SweepResult",
     "run_suite",
@@ -63,6 +64,20 @@ SWEEP_METRICS: dict[str, str] = {
     "availability": "mean_availability",
     "loss rate": "mean_loss_rate",
     "rebuilds per trial": "mean_rebuilds",
+    "mean latency": "mean_latency",
+}
+
+#: metric name -> RuntimeStats attribute of the latency-distribution report
+#: (``repro-streaming suite report``).  Kept separate from
+#: :data:`SWEEP_METRICS` so the existing ``suite run`` report stays
+#: byte-stable; the percentile attributes come from the merged fixed-bucket
+#: histograms (see :mod:`repro.obs.metrics`), so they are identical for
+#: ``reduce="traces"`` and ``reduce="stats"`` campaigns.
+REPORT_METRICS: dict[str, str] = {
+    "p50 latency": "p50_latency",
+    "p95 latency": "p95_latency",
+    "p99 latency": "p99_latency",
+    "max latency": "max_latency",
     "mean latency": "mean_latency",
 }
 
@@ -79,13 +94,15 @@ def _resolve_metric(metric: str) -> str:
     """Map a report metric name (or a raw stats attribute) to the attribute."""
     if metric in SWEEP_METRICS:
         return SWEEP_METRICS[metric]
+    if metric in REPORT_METRICS:
+        return REPORT_METRICS[metric]
     # no-default dataclass fields are not class attributes, so hasattr() on
     # the class would miss them — consult the field map instead.
     if metric in RuntimeStats.__dataclass_fields__:
         return metric
     raise SpecificationError(
-        f"unknown sweep metric {metric!r}; choose one of {list(SWEEP_METRICS)} "
-        f"or a RuntimeStats attribute"
+        f"unknown sweep metric {metric!r}; choose one of "
+        f"{[*SWEEP_METRICS, *REPORT_METRICS]} or a RuntimeStats attribute"
     )
 
 

@@ -1,0 +1,53 @@
+"""Sampled trace retention: keep every faulted data set, a fraction of the rest.
+
+At 10⁵+-dataset scale retaining the full per-dataset record of every run is
+what the stats-only transport was built to avoid — but dropping records
+uniformly throws away exactly the interesting ones (the few data sets that
+were shed, aborted or lost to downtime).  The retention rule here follows the
+standard tracing discipline: **100 % of non-completed ("faulted") records are
+kept, a seeded p-fraction of completed ones**, so a retained trace still
+shows every loss with enough clean context around it to see the shape of the
+run.
+
+The decision is a pure function of ``(trace, p, seed)`` — the per-record
+draws come from one :func:`~repro.utils.rng.ensure_rng` generator — so two
+calls retain the identical subset, and retained traces compare with ``==``.
+
+A sampled trace is a *retention* artifact, not a statistics source: its
+derived rates (``loss_rate``, ``completed_count`` …) are biased by
+construction since losses are over-represented by ``1/p``.  Compute
+statistics on the full trace (or its :class:`~repro.runtime.trace.TraceSummary`)
+before sampling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.utils.rng import ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.runtime.trace import RuntimeTrace
+
+__all__ = ["sample_trace"]
+
+
+def sample_trace(trace: "RuntimeTrace", p: float, seed: int = 0) -> "RuntimeTrace":
+    """Return *trace* with all faulted records and a *p*-fraction of clean ones.
+
+    ``p=1`` keeps everything (the result equals the input), ``p=0`` keeps
+    only the non-completed records.  One uniform draw is made per record —
+    completed or not — so the retained subset of the completed records does
+    not depend on where the losses fell.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"sampling fraction must be in [0, 1], got {p}")
+    rng = ensure_rng(seed)
+    draws = rng.random(len(trace.records))
+    kept = tuple(
+        record
+        for record, draw in zip(trace.records, draws)
+        if not record.completed or draw < p
+    )
+    return dataclasses.replace(trace, records=kept)

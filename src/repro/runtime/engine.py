@@ -103,9 +103,10 @@ class _IncrementalExecutor:
     the retaining kernel, see ``tests/property``).
     """
 
-    def __init__(self, schedule: Schedule):
+    def __init__(self, schedule: Schedule, probe=None):
+        self._probe = probe
         self._kernel: PipelineKernel | None = PipelineKernel(
-            schedule, retain_history=False
+            schedule, retain_history=False, probe=probe
         )
         self._ckpt: dict[int, frozenset[str]] = {}
 
@@ -137,13 +138,19 @@ class _IncrementalExecutor:
         self._kernel = None
 
     def on_rebuild_complete(self, schedule: Schedule, now: float, pending: Iterable[int]) -> None:
-        self._kernel = PipelineKernel(schedule, retain_history=False)
+        self._kernel = PipelineKernel(schedule, retain_history=False, probe=self._probe)
         for dataset in pending:
             self._kernel.admit_restored(dataset, now, self._ckpt.pop(dataset, ()))
 
     def on_abort(self, now: float) -> None:
         self._kernel = None
         self._ckpt.clear()
+
+    def sample_gauges(self, probe, now: float) -> None:
+        """Report kernel occupancy (live / evicted data sets) to *probe*."""
+        kernel = self._kernel
+        if kernel is not None:
+            probe.on_gauges(now, kernel.live_datasets, kernel.evicted_datasets)
 
     def finalize(self, schedule, failed_cur, seg_start, tol):
         if self._kernel is None:
@@ -159,14 +166,15 @@ class _FlushExecutor:
     sealed the moment it is admitted (bit-for-bit the pre-kernel behaviour).
     """
 
-    def __init__(self, schedule: Schedule):
+    def __init__(self, schedule: Schedule, probe=None):
+        self._probe = probe
         self._batch: list[tuple[int, float]] = []  # (dataset, admission instant)
 
     def admit(self, dataset: int, release: float, admit_time: float) -> None:
         self._batch.append((dataset, admit_time))
 
     def _simulate(self, batch, schedule, failed_cur, seg_start):
-        kernel = PipelineKernel(schedule, frozenset(failed_cur))
+        kernel = PipelineKernel(schedule, frozenset(failed_cur), probe=self._probe)
         # A data set admitted within float tolerance of the segment start can
         # land a hair before it; clamp to keep the kernel releases
         # non-negative (its recorded release stays exact).
@@ -218,6 +226,10 @@ class _FlushExecutor:
     def on_abort(self, now: float) -> None:
         self._batch.clear()
 
+    def sample_gauges(self, probe, now: float) -> None:
+        """No persistent kernel here: report the sealed-but-unsimulated backlog."""
+        probe.on_gauges(now, len(self._batch), 0)
+
     def finalize(self, schedule, failed_cur, seg_start, tol):
         if not self._batch or schedule is None:
             return []
@@ -238,6 +250,7 @@ class OnlineRuntime:
         rebuild_on_repair: bool = False,
         admission: str | AdmissionPolicy = "shed",
         checkpoint: bool = True,
+        probe=None,
     ):
         if not schedule.is_complete():
             raise ScheduleError("cannot run an incomplete schedule online")
@@ -255,6 +268,9 @@ class OnlineRuntime:
         self.rebuild_beyond_epsilon = bool(rebuild_beyond_epsilon)
         self.rebuild_on_repair = bool(rebuild_on_repair)
         self.checkpoint = bool(checkpoint)
+        #: optional :class:`repro.obs.probe.Probe`; ``None`` costs one pointer
+        #: comparison at each instrumented site (see docs/observability.md)
+        self.probe = probe
 
     # ---------------------------------------------------------------- execution
     def run(self, num_datasets: int = 100) -> RuntimeTrace:
@@ -287,8 +303,11 @@ class OnlineRuntime:
         log: list[RuntimeEvent] = []
         admission = self.admission
         admission.reset()
+        probe = self.probe
         executor = (
-            _IncrementalExecutor(initial) if self.checkpoint else _FlushExecutor(initial)
+            _IncrementalExecutor(initial, probe)
+            if self.checkpoint
+            else _FlushExecutor(initial, probe)
         )
 
         # --- mutable runtime state
@@ -311,7 +330,20 @@ class OnlineRuntime:
 
         def record_completions(completions) -> None:
             for j, t in completions:
-                records[j] = (j, pending.pop(j), t, "completed")
+                r = pending.pop(j)
+                records[j] = (j, r, t, "completed")
+                if probe is not None:
+                    probe.on_dataset(j, r, t, "completed")
+
+        def lose(j: int, r: float, status: str) -> None:
+            records[j] = (j, r, None, status)
+            if probe is not None:
+                probe.on_dataset(j, r, None, status)
+
+        def note(event: RuntimeEvent) -> None:
+            log.append(event)
+            if probe is not None:
+                probe.on_runtime_event(event)
 
         def admit(j: int, release: float, admit_time: float) -> None:
             nonlocal next_slot
@@ -326,7 +358,7 @@ class OnlineRuntime:
                 j, r = next_j, releases[next_j]
                 next_j += 1
                 if aborted:
-                    records[j] = (j, r, None, "lost-abort")
+                    lose(j, r, "lost-abort")
                     continue
                 verb, arg = admission.on_release(
                     j,
@@ -337,7 +369,7 @@ class OnlineRuntime:
                     tol=tol,
                 )
                 if verb == DROP:
-                    records[j] = (j, r, None, arg)
+                    lose(j, r, arg)
                 elif verb == ADMIT:
                     admit(j, r, arg)
                 # "defer": buffered inside the admission policy
@@ -351,7 +383,7 @@ class OnlineRuntime:
             rebuilding = True
             down_since = now
             rebuild_done = now + self.rebuild_overhead * period
-            log.append(RuntimeEvent(now, kind, processor))
+            note(RuntimeEvent(now, kind, processor))
             executor.on_rebuild_start(now, tuple(pending))
 
         def abort(now: float, reason: str) -> None:
@@ -359,12 +391,12 @@ class OnlineRuntime:
             aborted = True
             schedule = None
             abort_time = now
-            log.append(RuntimeEvent(now, "abort", None, reason))
+            note(RuntimeEvent(now, "abort", None, reason))
             executor.on_abort(now)
             for j, r in admission.drain():
-                records[j] = (j, r, None, "lost-abort")
+                lose(j, r, "lost-abort")
             for j, r in pending.items():
-                records[j] = (j, r, None, "lost-abort")
+                lose(j, r, "lost-abort")
             pending.clear()
 
         i = 0
@@ -378,6 +410,8 @@ class OnlineRuntime:
             if now >= horizon:
                 break  # the final advance happens in executor.finalize()
             record_completions(executor.advance(now, schedule, failed_cur, seg_start, tol))
+            if probe is not None:
+                executor.sample_gauges(probe, now)
             if now < rebuild_done and now < next_fault:
                 continue  # window boundary only: admit + advance, no control event
 
@@ -386,6 +420,8 @@ class OnlineRuntime:
                 rebuilding = False
                 rebuild_done = _INF
                 downtime += now - down_since
+                if probe is not None:
+                    probe.on_span("rebuild", down_since, now)
                 down_since = None
                 rebuilds += 1
                 survivors = [p for p in platform0.processor_names if p not in dead]
@@ -410,7 +446,7 @@ class OnlineRuntime:
                         next_slot = now
                         executor.on_rebuild_complete(schedule, now, tuple(pending))
                         drain_admission()
-                        log.append(
+                        note(
                             RuntimeEvent(
                                 now,
                                 "rebuild-complete",
@@ -433,10 +469,10 @@ class OnlineRuntime:
                 if rebuilding:
                     # Restart the rebuild clock: the survivor set just changed.
                     rebuild_done = now + self.rebuild_overhead * period
-                    log.append(RuntimeEvent(now, "crash-during-rebuild", event.processor))
+                    note(RuntimeEvent(now, "crash-during-rebuild", event.processor))
                     continue
                 if event.processor not in used:
-                    log.append(RuntimeEvent(now, "crash-unused", event.processor))
+                    note(RuntimeEvent(now, "crash-unused", event.processor))
                     continue
                 record_completions(
                     executor.on_crash_charged(schedule, failed_cur, seg_start, tol)
@@ -446,7 +482,7 @@ class OnlineRuntime:
                 survives = all(valid[t] for t in graph.exit_tasks())
                 within_guarantee = len(failed_cur) <= schedule.epsilon
                 if survives and (within_guarantee or not self.rebuild_beyond_epsilon):
-                    log.append(
+                    note(
                         RuntimeEvent(
                             now,
                             "crash-tolerated",
@@ -461,7 +497,7 @@ class OnlineRuntime:
                     seg_start = now
             else:  # repair
                 dead.discard(event.processor)
-                log.append(RuntimeEvent(now, "repair", event.processor))
+                note(RuntimeEvent(now, "repair", event.processor))
                 if self.rebuild_on_repair and not rebuilding and not aborted:
                     improves, why = self._repair_improves(
                         schedule, failed_cur, admit_period, dead, graph, platform0,
@@ -471,25 +507,31 @@ class OnlineRuntime:
                         start_rebuild(now, "repair-rebuild", event.processor)
                         seg_start = now
                     else:
-                        log.append(
+                        note(
                             RuntimeEvent(now, "repair-rebuild-skipped", event.processor, why)
                         )
 
         if rebuilding and down_since is not None:
             downtime += horizon - down_since
+            if probe is not None:
+                probe.on_span("rebuild", down_since, horizon)
         if aborted and abort_time < horizon:
             # An aborted stream accepts nothing for the rest of the horizon.
             downtime += horizon - abort_time
+            if probe is not None:
+                probe.on_span("abort", abort_time, horizon)
 
         record_completions(executor.finalize(schedule, failed_cur, seg_start, tol))
+        if probe is not None:
+            executor.sample_gauges(probe, horizon)
         if pending:
             # The data plane was abandoned mid-rebuild and the horizon ended
             # before a new schedule could replay the checkpointed data sets.
             for j, r in pending.items():
-                records[j] = (j, r, None, "lost-downtime")
+                lose(j, r, "lost-downtime")
             pending.clear()
         for j, r in admission.drain():
-            records[j] = (j, r, None, "lost-downtime")
+            lose(j, r, "lost-downtime")
 
         assert all(r is not None for r in records)
         return RuntimeTrace(
@@ -549,6 +591,7 @@ def run_online(
     rebuild_overhead: float = 1.0,
     admission: str | AdmissionPolicy = "shed",
     checkpoint: bool = True,
+    probe=None,
 ) -> RuntimeTrace:
     """Convenience wrapper: run *schedule* online through *fault_trace*."""
     runtime = OnlineRuntime(
@@ -558,5 +601,6 @@ def run_online(
         rebuild_overhead=rebuild_overhead,
         admission=admission,
         checkpoint=checkpoint,
+        probe=probe,
     )
     return runtime.run(num_datasets)

@@ -19,6 +19,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import LatencyHistogram
+
 __all__ = [
     "DatasetRecord",
     "RuntimeEvent",
@@ -138,6 +140,34 @@ class RuntimeTrace:
         lats = self.latencies
         return float(max(lats)) if lats else float("nan")
 
+    def latency_histogram(self) -> LatencyHistogram:
+        """Completed-data-set latencies on the global fixed bucket ladder.
+
+        Histograms of different traces share the bucket edges, so they merge
+        exactly — this is what :class:`TraceSummary` transports and what the
+        campaign percentiles (:attr:`RuntimeStats.p95_latency` …) are read
+        from.
+        """
+        return LatencyHistogram.from_values(self.latencies)
+
+    def _latency_quantile(self, q: float) -> float:
+        # overflow bucket falls back to the exact maximum; the bucket ladder
+        # spans nine decades, so this only triggers on absurd latencies
+        return self.latency_histogram().quantile(q, overflow=self.max_latency)
+
+    @property
+    def p50_latency(self) -> float:
+        """Median completed-data-set latency (bucket upper edge, ≤ ~8.5 % high)."""
+        return self._latency_quantile(0.5)
+
+    @property
+    def p95_latency(self) -> float:
+        return self._latency_quantile(0.95)
+
+    @property
+    def p99_latency(self) -> float:
+        return self._latency_quantile(0.99)
+
     @property
     def achieved_period(self) -> float:
         """Average inter-completion gap over the tail half of the completions.
@@ -186,6 +216,16 @@ class RuntimeStats:
     mean_achieved_period: float
     total_crashes: int
     lost_by_reason: dict[str, int] = field(default_factory=dict)
+    #: latency-distribution tail over *all* completed data sets of all trials,
+    #: read off the merged fixed-bucket histogram (each percentile is its
+    #: bucket's upper edge — an overestimate of at most ~8.5 %; the maximum is
+    #: exact).  NaN when no trial completed anything.
+    p50_latency: float = float("nan")
+    p95_latency: float = float("nan")
+    p99_latency: float = float("nan")
+    max_latency: float = float("nan")
+    #: the merged histogram itself, in sparse ``((bucket, count), ...)`` form.
+    latency_histogram: tuple[tuple[int, int], ...] = ()
 
     def as_rows(self) -> list[list[object]]:
         """Rows ``[statistic, value]`` for ASCII reporting."""
@@ -198,6 +238,10 @@ class RuntimeStats:
             ["availability (mean)", self.mean_availability],
             ["loss rate (mean)", self.mean_loss_rate],
             ["latency (mean, completed)", self.mean_latency],
+            ["latency (p50)", self.p50_latency],
+            ["latency (p95)", self.p95_latency],
+            ["latency (p99)", self.p99_latency],
+            ["latency (max)", self.max_latency],
             ["achieved period (mean)", self.mean_achieved_period],
         ]
         for reason in sorted(self.lost_by_reason):
@@ -230,6 +274,11 @@ class TraceSummary:
     aborted: bool
     crashes: int
     lost_by_reason: dict[str, int] = field(default_factory=dict)
+    #: exact per-trace latency maximum and the trace's fixed-bucket latency
+    #: histogram in sparse form — the merge-exact distribution transport
+    #: behind the campaign percentiles (see :mod:`repro.obs.metrics`).
+    max_latency: float = float("nan")
+    latency_histogram: tuple[tuple[int, int], ...] = ()
 
 
 def summarize_trace(trace: RuntimeTrace) -> TraceSummary:
@@ -246,6 +295,8 @@ def summarize_trace(trace: RuntimeTrace) -> TraceSummary:
         aborted=trace.aborted,
         crashes=sum(1 for e in trace.events if e.kind.startswith("crash")),
         lost_by_reason=trace.lost_by_reason(),
+        max_latency=trace.max_latency,
+        latency_histogram=trace.latency_histogram().as_sparse(),
     )
 
 
@@ -270,6 +321,15 @@ def combine_summaries(
         for reason, count in summary.lost_by_reason.items():
             lost[reason] = lost.get(reason, 0) + count
     latencies = [s.mean_latency for s in summaries if s.completed_count]
+    # element-wise histogram merge: integer bucket counts add exactly, so the
+    # percentiles below equal the percentiles of one histogram built from
+    # every completed data set of every trial — regardless of how the trials
+    # were partitioned across processes (property-tested in tests/property)
+    merged = LatencyHistogram()
+    for summary in summaries:
+        merged.update_sparse(summary.latency_histogram)
+    maxes = [s.max_latency for s in summaries if s.completed_count]
+    max_latency = max(maxes) if maxes else float("nan")
     return RuntimeStats(
         trials=len(summaries),
         aborted_trials=sum(1 for s in summaries if s.aborted),
@@ -281,6 +341,11 @@ def combine_summaries(
         mean_achieved_period=float(np.mean([s.achieved_period for s in summaries])),
         total_crashes=sum(s.crashes for s in summaries),
         lost_by_reason=lost,
+        p50_latency=merged.quantile(0.5, overflow=max_latency),
+        p95_latency=merged.quantile(0.95, overflow=max_latency),
+        p99_latency=merged.quantile(0.99, overflow=max_latency),
+        max_latency=max_latency,
+        latency_histogram=merged.as_sparse(),
     )
 
 

@@ -166,12 +166,14 @@ def execute_online(
     workload: PaperWorkload,
     schedule: Schedule,
     fault_seed,
+    probe=None,
 ) -> RuntimeTrace:
     """Run the online leg of *spec* on an already-built pipeline.
 
     Split out of :func:`run_scenario_online` so callers holding a cached
     ``(workload, schedule)`` pair (the Session facade builds one per seed)
-    don't pay the workload generation and scheduling ladder again.
+    don't pay the workload generation and scheduling ladder again.  *probe*
+    is an optional :class:`repro.obs.probe.Probe` observing the run.
     """
     fault_trace = build_fault_trace(
         workload, spec.faults, schedule.period, spec.runtime.num_datasets, fault_seed
@@ -187,11 +189,12 @@ def execute_online(
         rebuild_on_repair=spec.runtime.rebuild_on_repair,
         admission=admission,
         checkpoint=spec.runtime.checkpoint,
+        probe=probe,
     )
     return runtime.run(spec.runtime.num_datasets)
 
 
-def run_scenario_online(spec: ScenarioSpec, seed: int = 0) -> RuntimeTrace:
+def run_scenario_online(spec: ScenarioSpec, seed: int = 0, probe=None) -> RuntimeTrace:
     """Run one seeded online trial of *spec*: workload → schedule → faults → run.
 
     Deterministic: the trace only depends on ``(spec, seed)``.  This is the
@@ -208,4 +211,4 @@ def run_scenario_online(spec: ScenarioSpec, seed: int = 0) -> RuntimeTrace:
         raise SchedulingError(
             f"no schedule found for scenario {spec.name!r} seed {seed}: {exc}"
         ) from None
-    return execute_online(spec, workload, schedule, fault_seed)
+    return execute_online(spec, workload, schedule, fault_seed, probe=probe)

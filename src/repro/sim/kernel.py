@@ -84,7 +84,7 @@ from repro.schedule.schedule import Schedule
 from repro.schedule.validation import valid_replicas_under_failures
 from repro.sim.events import EventQueue
 
-__all__ = ["PipelineKernel"]
+__all__ = ["PipelineKernel", "EVENT_KIND_NAMES"]
 
 #: event kinds understood by the loop — interned small ints, not strings: the
 #: hot loop dispatches on them once per event, and an int compare is one
@@ -98,6 +98,10 @@ _RELEASE = 0
 _COMPUTED = 1
 _ARRIVED = 2
 _RELEASE_ALL = 3
+
+#: public names of the event kinds, indexed by the interned kind ints above —
+#: the vocabulary of :meth:`repro.obs.probe.Probe.on_kernel_events` counters.
+EVENT_KIND_NAMES = ("release", "compute-complete", "transfer-arrive", "release-all")
 
 
 @dataclass(slots=True)
@@ -143,6 +147,7 @@ class PipelineKernel:
         require_exit_coverage: bool = True,
         valid_replicas: dict[str, list[Replica]] | None = None,
         retain_history: bool = True,
+        probe=None,
     ):
         """*valid_replicas* lets a driver that already ran
         :func:`~repro.schedule.validation.valid_replicas_under_failures` for
@@ -150,7 +155,10 @@ class PipelineKernel:
         over instead of recomputing it here.  *retain_history* selects the
         memory model (see the module docstring): ``False`` evicts a data
         set's state at its watermark, bounding live memory by the pipeline
-        depth instead of the stream length."""
+        depth instead of the stream length.  *probe* is an optional
+        :class:`repro.obs.probe.Probe`: per-kind event counts are accumulated
+        in a local list and flushed once per drain, so a ``None`` probe costs
+        a single pointer comparison per event."""
         if not schedule.is_complete():
             raise ScheduleError("cannot simulate an incomplete schedule")
         failed = frozenset(failed)
@@ -215,6 +223,7 @@ class PipelineKernel:
         self._evicted = 0
         self._max_evicted = -1  # highest retired index: re-admission guard
         self._peak_live = 0
+        self._probe = probe
 
     # ------------------------------------------------------------------ queries
     @property
@@ -438,6 +447,10 @@ class PipelineKernel:
         refs = self._refs
         evict = self._evict
         now = self._now
+        probe = self._probe
+        # per-kind event tallies, flushed once at loop exit: with no probe
+        # attached the loop pays exactly one `is None` check per event
+        ev_counts = None if probe is None else [0, 0, 0, 0]
         if refs is not None:
             live = len(self._admitted)
             if live > self._peak_live:
@@ -463,6 +476,8 @@ class PipelineKernel:
             if limit is not None and heap[0][0] > limit:
                 break
             now, _, kind, payload = pop(heap)
+            if ev_counts is not None:
+                ev_counts[kind] += 1
             if kind == _ARRIVED:
                 src_state, dst_state, bit, dataset = payload
                 if not dead or (
@@ -546,6 +561,8 @@ class PipelineKernel:
                     refs[dataset] = 0
         queue._count = count
         self._now = now
+        if ev_counts is not None and any(ev_counts):
+            probe.on_kernel_events(ev_counts, now)
 
     def _evict(self, dataset: int) -> None:
         """Retire every trace of a completed, quiescent data set (watermark)."""

@@ -70,6 +70,21 @@ def test_readme_links_the_docs_tree():
     text = (REPO / "README.md").read_text()
     assert "docs/architecture.md" in text
     assert "docs/scenarios.md" in text
+    assert "docs/observability.md" in text
+
+
+def test_observability_doc_covers_the_obs_cli_surface():
+    """docs/observability.md must document every observability CLI flag, the
+    report command and the probe API entry points."""
+    text = (REPO / "docs" / "observability.md").read_text()
+    for flag in ("--metrics", "--gantt", "--sample", "--trajectory"):
+        assert f"`{flag}" in text, f"observability.md misses flag {flag}"
+    assert "suite report" in text
+    for name in ("Probe", "MetricsProbe", "LatencyHistogram", "sample_trace",
+                 "write_gantt", "run_online"):
+        assert name in text, f"observability.md misses API {name}"
+    assert "docs/architecture.md" not in text  # links are relative within docs/
+    assert "observability.md" in (REPO / "docs" / "architecture.md").read_text()
 
 
 def test_example_scenario_parses():

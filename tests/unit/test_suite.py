@@ -374,6 +374,45 @@ class TestSuiteCli:
         warm = capsys.readouterr().out
         assert "executed 0 of 2 points" in warm
 
+    def test_report_serves_percentiles_from_a_warm_cache(self, tmp_path, capsys):
+        """`suite report` on a cached suite renders the latency distribution
+        without re-executing a single grid point."""
+        from repro.cli import main
+
+        path = self._write_suite(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        assert main(["suite", "run", str(path), "--cache-dir", cache_dir,
+                     "--no-plot"]) == 0
+        capsys.readouterr()
+        assert main(["suite", "report", str(path), "--cache-dir", cache_dir,
+                     "--no-plot"]) == 0
+        report = capsys.readouterr().out
+        assert "executed 0 of 2 points" in report
+        for column in ("p50 latency", "p95 latency", "p99 latency", "max latency"):
+            assert column in report
+        assert "latency by grid point" in report
+
+    def test_report_renders_a_trajectory_file(self, tmp_path, capsys):
+        import json as json_mod
+
+        from repro.cli import main
+
+        path = self._write_suite(tmp_path)
+        traj = tmp_path / "traj.json"
+        traj.write_text(json_mod.dumps(
+            [{"commit": "abc1234567890def", "smoke": True,
+              "long_stream_datasets_per_sec": 1234.5}]
+        ))
+        assert main(["suite", "report", str(path), "--no-cache", "--no-plot",
+                     "--trajectory", str(traj)]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark trajectory — 1 points" in out
+        assert "abc1234567890" [:12] in out
+        # an explicitly named but unreadable trajectory is an error
+        assert main(["suite", "report", str(path), "--no-cache", "--no-plot",
+                     "--trajectory", str(tmp_path / "missing.json")]) == 2
+        assert "cannot read trajectory" in capsys.readouterr().err
+
     def test_no_cache_bypasses(self, tmp_path, capsys):
         from repro.cli import main
 
