@@ -18,13 +18,22 @@ Two layers:
     incremental engine executes a stream cut into many fault segments (≥ 5
     fault events) than the flush-and-restart baseline, which pays a pipeline
     setup + cold restart per segment;
-  * ``long_stream_datasets_per_sec`` — sustained throughput of the
-    constant-memory kernel fast path on a long (10⁵ data sets at full scale)
-    zero-fault stream: the number CI's trajectory gate watches for
-    regressions (see ``benchmarks/bench_trajectory.py``);
-  * ``obs_overhead`` — the same long stream with and without a
-    ``repro.obs.MetricsProbe`` attached: the instrumentation must be (near)
-    free when off and cheap when on;
+  * ``long_stream_datasets_per_sec`` — sustained throughput on a long
+    (10⁵ data sets at full scale) zero-fault *quiet* stream: a feasible
+    integer-duration schedule where the steady-state fast forward
+    (``repro.sim.steady``) engages.  The number CI's trajectory gate
+    watches for regressions (see ``benchmarks/bench_trajectory.py``;
+    the point carries a workload tag so the gate never compares across
+    workload redefinitions);
+  * ``fast_forward_speedup`` — the same quiet stream with the fast
+    forward on vs off (the off arm is the per-event baseline);
+  * ``long_stream_saturated_datasets_per_sec`` — the historical saturated
+    random-workload stream, which fails the fast-forward certificate and
+    therefore still measures the raw event loop;
+  * ``obs_overhead`` — the saturated stream with and without a
+    ``repro.obs.MetricsProbe`` attached, measured interleaved (A/B/A/B)
+    so runner noise cannot invert the sign: the instrumentation must be
+    (near) free when off and cheap when on;
   * ``sweep_transport_bytes`` — pickled campaign payload per sweep point in
     ``reduce="traces"`` vs ``reduce="stats"`` worker mode: the bytes a worker
     ships back through the process pool for one grid point;
@@ -89,9 +98,55 @@ def _time(fn, repeat: int = 3) -> float:
     return best
 
 
+def _time_interleaved(fn_a, fn_b, repeat: int = 3) -> tuple[float, float]:
+    """Best-of-*repeat* for two arms measured A/B/A/B on the same clock.
+
+    Timing the arms back-to-back in separate blocks lets a frequency ramp or
+    co-tenant burst land entirely on one arm — which is how a probe-on run
+    once measured *faster* than probe-off (a negative overhead fraction in a
+    committed report).  Interleaving exposes both arms to the same noise;
+    best-of-k then discards the hiccups symmetrically.
+    """
+    fn_a(), fn_b()  # warm both arms, excluded from the measurement
+    best_a = best_b = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+#: workload tag recorded with the headline metric — bench_trajectory.py only
+#: gates against points with the same tag, so redefining the headline
+#: workload seeds a fresh baseline instead of faking a 100x "improvement".
+QUIET_WORKLOAD = "figure2-quiet-eps1"
+
+
+def _quiet_stream_case():
+    """The headline workload: a *feasible* integer-duration schedule (the
+    paper's Figure 2 pipeline, LTF, ε=1) streamed fault-free.  Admission
+    keeps up with completion, so a steady state exists and the analytic
+    fast forward engages under its exactness certificate — this is the
+    workload class the steady-state work is *for*."""
+    from repro.core.ltf import ltf_schedule
+    from repro.graph.examples import figure2_graph
+    from repro.platform.builders import figure2_platform
+
+    return ltf_schedule(
+        figure2_graph(), figure2_platform(10), throughput=0.05, epsilon=1,
+        strict_resilience=True,
+    )
+
+
 def _long_stream_case():
-    """The long-stream workload: the 30-task ε=2 schedule of the kernel-perf
-    work, streamed fault-free through the online runtime (evicting kernel)."""
+    """The saturated secondary workload: the 30-task ε=2 random schedule of
+    the kernel-perf work.  Its full-mantissa durations fail the fast-forward
+    certificate and its admission rate exceeds the achievable period, so it
+    exercises the raw event loop — per-event kernel throughput, and the
+    probe overhead contract."""
     workload = random_paper_workload(1.0, seed=11, num_tasks=30, num_processors=10)
     period = workload_period(workload, 2, ExperimentConfig())
     return rltf_schedule(workload.graph, workload.platform, period=period, epsilon=2)
@@ -122,6 +177,51 @@ def _stats_match(a, b) -> bool:
 
 
 # --------------------------------------------------------------- script mode
+def run_ff_smoke(num_datasets: int = 10_000) -> int:
+    """CI gate of the steady-state fast forward: correctness, then speed.
+
+    Runs a quiet certified stream with the fast path on and off, diffs the
+    trace fingerprints (they must be **bit-identical** — any divergence is a
+    correctness bug, not a perf concern) and then requires the fast path to
+    actually be faster.  Returns a process exit code.
+    """
+    import hashlib
+
+    schedule = _quiet_stream_case()
+    trace = FaultTrace((), horizon=num_datasets * schedule.period)
+
+    def fingerprint(runtime_trace) -> str:
+        blob = repr(
+            (
+                runtime_trace.records,
+                runtime_trace.events,
+                runtime_trace.downtime,
+                runtime_trace.num_rebuilds,
+            )
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    start = time.perf_counter()
+    on = OnlineRuntime(schedule, trace).run(num_datasets)
+    on_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    off = OnlineRuntime(schedule, trace, fast_forward=False).run(num_datasets)
+    off_seconds = time.perf_counter() - start
+
+    on_print, off_print = fingerprint(on), fingerprint(off)
+    print(f"fast-forward smoke: {num_datasets:,} quiet data sets")
+    print(f"  fast forward on:  {on_seconds:.3f}s  fingerprint {on_print[:16]}")
+    print(f"  fast forward off: {off_seconds:.3f}s  fingerprint {off_print[:16]}")
+    if on != off or on_print != off_print:
+        print("::error::fast-forward traces diverge from the full simulation")
+        return 1
+    if on_seconds >= off_seconds:
+        print("::error::fast forward is not faster than the full simulation")
+        return 1
+    print(f"  OK: bit-identical, {off_seconds / on_seconds:.1f}x faster")
+    return 0
+
+
 def run_report(smoke: bool = False) -> dict:
     """Time the benchmark workloads and return the JSON-ready report."""
     repeat = 1 if smoke else 3
@@ -145,28 +245,41 @@ def run_report(smoke: bool = False) -> dict:
     incr0 = _time(lambda: OnlineRuntime(schedule, empty, checkpoint=True).run(n), repeat)
     flush0 = _time(lambda: OnlineRuntime(schedule, empty, checkpoint=False).run(n), repeat)
 
-    # --- long-stream throughput of the constant-memory kernel fast path
-    long_n = 20_000 if smoke else 100_000
-    long_schedule = _long_stream_case()
-    long_empty = FaultTrace((), horizon=long_n * long_schedule.period)
+    # --- headline: quiet certified stream through the steady-state fast path
+    quiet_n = 20_000 if smoke else 100_000
+    quiet_schedule = _quiet_stream_case()
+    quiet_empty = FaultTrace((), horizon=quiet_n * quiet_schedule.period)
     # min of 2 timed passes: this is the metric CI's trajectory gate hard-fails
     # on, so one co-tenant hiccup on a shared runner must not read as a
     # regression (the 30% band covers the rest)
-    long_seconds = _time(
-        lambda: OnlineRuntime(long_schedule, long_empty, checkpoint=True).run(long_n),
+    quiet_on = _time(
+        lambda: OnlineRuntime(quiet_schedule, quiet_empty).run(quiet_n),
+        repeat=2,
+    )
+    quiet_off = _time(
+        lambda: OnlineRuntime(
+            quiet_schedule, quiet_empty, fast_forward=False
+        ).run(quiet_n),
         repeat=2,
     )
 
-    # --- instrumentation overhead: the same long stream with a MetricsProbe
-    # attached; the probe-off number above is the contract (the hot loop pays
-    # one `is None` check per event when no probe is installed)
+    # --- saturated secondary: the raw event loop, no fast forward possible,
+    # interleaved probe-off/probe-on so both arms see the same runner noise
+    # (the probe-off number is the contract: one `is None` check per event)
     from repro.obs import MetricsProbe
 
-    probe_seconds = _time(
+    long_n = 20_000 if smoke else 100_000
+    long_schedule = _long_stream_case()
+    long_empty = FaultTrace((), horizon=long_n * long_schedule.period)
+    long_seconds, probe_seconds = _time_interleaved(
+        lambda: OnlineRuntime(long_schedule, long_empty, checkpoint=True).run(long_n),
         lambda: OnlineRuntime(
             long_schedule, long_empty, checkpoint=True, probe=MetricsProbe()
         ).run(long_n),
-        repeat=2,
+        repeat=2 if smoke else 3,
+    )
+    overhead_raw = (
+        (probe_seconds - long_seconds) / long_seconds if long_seconds else 0.0
     )
 
     # --- per-point transport of the two worker reductions
@@ -208,17 +321,29 @@ def run_report(smoke: bool = False) -> dict:
         "incremental_speedup_multisegment": flush / incr if incr > 0 else float("inf"),
         "incremental_speedup_zero_fault": flush0 / incr0 if incr0 > 0 else float("inf"),
         "long_stream": {
+            "datasets": quiet_n,
+            "workload": QUIET_WORKLOAD,
+            "seconds": quiet_on,
+            "seconds_no_fast_forward": quiet_off,
+        },
+        "long_stream_datasets_per_sec": quiet_n / quiet_on if quiet_on else 0.0,
+        "fast_forward_speedup": quiet_off / quiet_on if quiet_on else float("inf"),
+        "long_stream_saturated": {
             "datasets": long_n,
             "seconds": long_seconds,
         },
-        "long_stream_datasets_per_sec": long_n / long_seconds if long_seconds else 0.0,
+        "long_stream_saturated_datasets_per_sec": (
+            long_n / long_seconds if long_seconds else 0.0
+        ),
         "obs_overhead": {
             "datasets": long_n,
             "probe_off_seconds": long_seconds,
             "probe_on_seconds": probe_seconds,
-            "overhead_fraction": (
-                (probe_seconds - long_seconds) / long_seconds if long_seconds else 0.0
-            ),
+            # clamped for consumers; a negative raw value means the probe
+            # cost was below the interleaved-run noise floor, not a speedup
+            "overhead_fraction": max(overhead_raw, 0.0),
+            "overhead_fraction_raw": overhead_raw,
+            "within_noise": overhead_raw < 0.0,
         },
         "sweep_transport_bytes": {
             "datasets": 200,
@@ -242,7 +367,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", default=None, help="write the JSON report to this path"
     )
+    parser.add_argument(
+        "--ff-smoke",
+        action="store_true",
+        help="fast-forward gate only: bit-identity + speedup on a quiet stream",
+    )
     args = parser.parse_args(argv)
+    if args.ff_smoke:
+        return run_ff_smoke()
     report = run_report(smoke=args.smoke)
     transport = report["sweep_transport_bytes"]
     chunk = report["chunksize"]
@@ -255,12 +387,21 @@ def main(argv=None) -> int:
         ["zero-fault flush (s)", f"{report['zero_fault']['flush_seconds']:.3f}"],
         ["zero-fault speedup", f"{report['incremental_speedup_zero_fault']:.2f}x"],
         [
-            f"long stream ({report['long_stream']['datasets']:,} data sets)",
+            f"quiet stream ({report['long_stream']['datasets']:,} data sets, fast forward)",
             f"{report['long_stream_datasets_per_sec']:,.0f} datasets/s",
+        ],
+        ["fast-forward speedup", f"{report['fast_forward_speedup']:.1f}x"],
+        [
+            f"saturated stream ({report['long_stream_saturated']['datasets']:,} data sets)",
+            f"{report['long_stream_saturated_datasets_per_sec']:,.0f} datasets/s",
         ],
         [
             "obs probe overhead",
-            f"{report['obs_overhead']['overhead_fraction'] * 100:+.1f}%",
+            (
+                "within noise"
+                if report["obs_overhead"]["within_noise"]
+                else f"{report['obs_overhead']['overhead_fraction'] * 100:+.1f}%"
+            ),
         ],
         ["sweep point payload (traces)", f"{transport['traces']:,} B"],
         ["sweep point payload (stats)", f"{transport['stats']:,} B"],

@@ -54,7 +54,13 @@ def append_point(trajectory: list[dict], report: dict) -> dict:
         "commit": os.environ.get("GITHUB_SHA", "local"),
         "run": os.environ.get("GITHUB_RUN_ID", ""),
         "smoke": bool(report.get("smoke")),
+        # workload tag of the headline stream: redefining the benchmark
+        # workload makes older points incomparable, so the gate skips them
+        # and this run seeds the new baseline instead of gating against a
+        # different workload's numbers
+        "workload": report.get("long_stream", {}).get("workload"),
         HEADLINE: report.get(HEADLINE),
+        "fast_forward_speedup": report.get("fast_forward_speedup"),
         "incremental_speedup_multisegment": report.get(
             "incremental_speedup_multisegment"
         ),
@@ -72,8 +78,9 @@ def check_regression(
     """Compare the newest point's headline against the previous one.
 
     Only comparable points gate: the previous point must carry the headline
-    metric and the same ``smoke`` flag (a smoke run is a different workload
-    than a full run, not a regression).
+    metric, the same ``smoke`` flag (a smoke run is a different workload
+    than a full run, not a regression) and the same ``workload`` tag (a
+    redefined headline workload seeds a fresh baseline).
     """
     current = trajectory[-1]
     value = current.get(HEADLINE)
@@ -81,7 +88,11 @@ def check_regression(
         return True, f"no {HEADLINE} in the current report; gating skipped"
     for previous in reversed(trajectory[:-1]):
         baseline = previous.get(HEADLINE)
-        if baseline and previous.get("smoke") == current.get("smoke"):
+        if (
+            baseline
+            and previous.get("smoke") == current.get("smoke")
+            and previous.get("workload") == current.get("workload")
+        ):
             floor = baseline * (1.0 - max_regression)
             verdict = (
                 f"{HEADLINE}: {value:,.0f} vs previous {baseline:,.0f} "

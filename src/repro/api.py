@@ -296,7 +296,9 @@ class Session:
         """
         workload, schedule = self._pipeline(seed)
         count = self._spec.runtime.num_datasets if num_datasets is None else num_datasets
-        simulation = StreamingSimulator(schedule).run(count)
+        simulation = StreamingSimulator(
+            schedule, fast_forward=self._spec.runtime.fast_forward
+        ).run(count)
         return SimulateResult(
             spec=self._spec,
             seed=seed,

@@ -262,6 +262,16 @@ def _add_spec_options(p: argparse.ArgumentParser, suppress: bool = False) -> Non
         default=default(1.0),
         help="rebuild downtime, in stream periods",
     )
+    p.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        default=default(False),
+        help=(
+            "disable the analytic steady-state fast forward (quiet stretches "
+            "are then simulated event by event; results are bit-identical "
+            "either way)"
+        ),
+    )
 
 
 #: argparse dest → (dotted spec path, value transform) for the spec flags.
@@ -279,6 +289,7 @@ _FLAG_PATHS: dict[str, tuple[str, Callable]] = {
     "admission": ("runtime.admission", lambda v: v),
     "queue_capacity": ("runtime.queue_capacity", lambda v: None if v == 0 else v),
     "no_checkpoint": ("runtime.checkpoint", lambda v: not v),
+    "no_fast_forward": ("runtime.fast_forward", lambda v: not v),
     "rebuild_on_repair": ("runtime.rebuild_on_repair", lambda v: v),
     "rebuild_overhead": ("runtime.rebuild_overhead", lambda v: v),
 }
@@ -375,7 +386,9 @@ def _export_obs(args: argparse.Namespace, trace, probe) -> None:
         sample = getattr(args, "sample", None)
         if sample is not None:
             export = sample_trace(trace, sample, seed=args.seed)
-        path = write_gantt(export, args.gantt)
+        # overlay analytically-skipped stretches when the run fast-forwarded
+        ff_spans = [s for s in getattr(probe, "spans", ()) if s[0] == "fast-forward"]
+        path = write_gantt(export, args.gantt, spans=ff_spans)
         print(f"gantt: wrote {path} ({len(export.records)} of {len(trace.records)} records)")
     if args.metrics:
         path = Path(args.metrics)
@@ -850,6 +863,7 @@ def _scenario_from_flags(args: argparse.Namespace, name: str = "cli"):
         checkpoint=not args.no_checkpoint,
         rebuild_on_repair=args.rebuild_on_repair,
         rebuild_overhead=args.rebuild_overhead,
+        fast_forward=not args.no_fast_forward,
     ).to_scenario(name=name)
 
 

@@ -30,6 +30,7 @@ which should match ``max_u Δ_u`` of the schedule.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -40,6 +41,7 @@ from repro.failures.scenarios import CrashScenario
 from repro.schedule.replica import Replica
 from repro.schedule.schedule import Schedule
 from repro.schedule.validation import valid_replicas_under_failures
+from repro.sim import steady
 from repro.sim.kernel import PipelineKernel
 from repro.utils.gcpause import gc_paused
 
@@ -86,15 +88,34 @@ class SimulationResult:
 
 
 class StreamingSimulator:
-    """Batch driver of the shared pipeline kernel for a complete schedule."""
+    """Batch driver of the shared pipeline kernel for a complete schedule.
 
-    def __init__(self, schedule: Schedule, scenario: CrashScenario | Iterable[str] = ()):
+    *fast_forward* (default on) enables the analytic steady-state fast path
+    for uniform ``j·Δ`` streams: once two successive admission windows prove
+    a repeating kernel state under the exactness certificate of
+    :mod:`repro.sim.steady`, the remaining quiet stretch is emitted in
+    closed form — O(warm-up + pipeline depth) events instead of
+    O(num_datasets) — with results bit-identical to the full event loop.
+    Workloads that fail the certificate (non-grid durations), explicit
+    release lists, and short streams simply take the historical batch path.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        scenario: CrashScenario | Iterable[str] = (),
+        fast_forward: bool = True,
+    ):
         if not schedule.is_complete():
             raise ScheduleError("cannot simulate an incomplete schedule")
         if not isinstance(scenario, CrashScenario):
             scenario = CrashScenario(frozenset(scenario))
         self.schedule = schedule
         self.scenario = scenario
+        self.fast_forward = bool(fast_forward)
+        #: diagnostics of the last :meth:`run`: how many windows/data sets
+        #: the steady-state fast path skipped (zeros when it never engaged).
+        self.last_fast_forward: dict[str, int] = {"windows": 0, "datasets": 0}
         # Replicas that can produce valid results under the crash pattern.
         valid = valid_replicas_under_failures(schedule, scenario.failed)
         self._valid_map: dict[str, list[Replica]] = valid
@@ -138,6 +159,26 @@ class StreamingSimulator:
             ):
                 raise ValueError("release_times must be non-negative and non-decreasing")
 
+        self.last_fast_forward = {"windows": 0, "datasets": 0}
+        if uniform and self.fast_forward and period > 0:
+            window = steady.DEFAULT_WINDOW
+            if num_datasets >= 3 * window:
+                kernel = PipelineKernel(
+                    self.schedule,
+                    self.scenario.failed,
+                    require_exit_coverage=False,
+                    valid_replicas=self._valid_map,
+                    retain_history=False,
+                    fast_forward=True,
+                )
+                grid_exp = steady.certified_grid(
+                    kernel, period, num_datasets * period
+                )
+                if grid_exp is not None:
+                    return self._run_fast(
+                        kernel, num_datasets, period, grid_exp, window
+                    )
+
         # The constructor already computed the validity closure and checked
         # exit coverage; hand both over so the kernel does not redo the work.
         kernel = PipelineKernel(
@@ -171,6 +212,81 @@ class StreamingSimulator:
         return SimulationResult(
             latencies=tuple(latencies),
             completion_times=tuple(completions),
+            period=period,
+        )
+
+    def _run_fast(
+        self,
+        kernel: PipelineKernel,
+        num_datasets: int,
+        period: float,
+        grid_exp: int,
+        window: int,
+    ) -> SimulationResult:
+        """The steady-state windowed drive (certified workloads only).
+
+        Admission happens one window at a time through
+        :meth:`~repro.sim.kernel.PipelineKernel.admit_stream_window`, whose
+        preassigned sequence numbers make the pop order identical to the
+        one-shot vectorized admission.  Each ``run_until`` stops just *below*
+        the next window's first release, so same-instant release/compute
+        ties keep resolving release-first exactly as they would with every
+        release already in the heap.  At each boundary the detector
+        fingerprints the kernel; on a lock the remaining quiet windows are
+        emitted as the last window's completions shifted by exact multiples
+        of ``(window·Δ, window)`` and the kernel lands at the far end.
+        """
+        completions: list[float | None] = [None] * num_datasets
+        detector = steady.SteadyStateDetector(kernel, grid_exp, period, window)
+        delta = detector.delta
+        skipped_windows = 0
+        template: list[tuple[int, float]] = []
+        j = 0
+        with gc_paused():
+            while j < num_datasets:
+                stop = min(j + window, num_datasets)
+                kernel.admit_stream_window(j, stop, period, num_datasets)
+                j = stop
+                if j >= num_datasets:
+                    break
+                boundary = j * period
+                drained = kernel.run_until(math.nextafter(boundary, -math.inf))
+                for d, t in drained:
+                    completions[d] = t
+                template.extend(drained)
+                locked = detector.observe(boundary, j, True)
+                if not locked or len(template) != window:
+                    template.clear()
+                    continue
+                m = detector.max_windows(
+                    boundary, (num_datasets - j) // window, math.inf
+                )
+                if m >= 1:
+                    for s in range(1, m + 1):
+                        base = boundary + s * delta
+                        step = s * window
+                        for d, t in template:
+                            completions[d + step] = (t - boundary) + base
+                    detector.jump(m)
+                    j += m * window
+                    skipped_windows += m
+                template.clear()
+            for d, t in kernel.run_to_completion():
+                completions[d] = t
+        self.last_fast_forward = {
+            "windows": skipped_windows,
+            "datasets": skipped_windows * window,
+        }
+        latencies = []
+        for dataset, completion in enumerate(completions):
+            if completion is None:
+                raise ScheduleError(
+                    f"data set {dataset} never completed — inconsistent schedule or scenario"
+                )
+            latencies.append(completion - dataset * period)
+        return SimulationResult(
+            latencies=tuple(latencies),
+            completion_times=tuple(completions),  # type: ignore[arg-type]
             period=period,
         )
 

@@ -41,6 +41,7 @@ _CRASH_COLOR = "#d62728"
 _REPAIR_COLOR = "#2ca02c"
 _REBUILD_FILL = "#e45756"
 _ABORT_FILL = "#888888"
+_FAST_FORWARD_FILL = "#54a24b"
 
 _MARGIN_LEFT = 64
 _MARGIN_RIGHT = 16
@@ -87,9 +88,17 @@ def _sample_rows(num_records: int, max_rows: int) -> list[int]:
 
 
 def render_gantt_svg(
-    trace: "RuntimeTrace", width: int = 960, max_rows: int = 60
+    trace: "RuntimeTrace", width: int = 960, max_rows: int = 60, spans=()
 ) -> str:
-    """Render *trace* as a static SVG Gantt chart (see module docstring)."""
+    """Render *trace* as a static SVG Gantt chart (see module docstring).
+
+    *spans* are optional extra ``(kind, start, end)`` intervals to shade —
+    the fast-forward spans of a :class:`~repro.obs.probe.MetricsProbe`
+    render the analytically-skipped stretches as compressed green bands.
+    The trace itself never records them (traces are bit-identical with the
+    fast path on and off), so with the default empty *spans* the rendering
+    is byte-identical to a non-fast-forwarded run's.
+    """
     rows = _sample_rows(len(trace.records), max_rows)
     plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
     plot_h = len(rows) * (_ROW_HEIGHT + _ROW_GAP)
@@ -118,9 +127,10 @@ def render_gantt_svg(
     )
     parts.append(f'<text x="{_MARGIN_LEFT}" y="14" font-size="11">{title}</text>')
 
-    # shaded downtime spans behind everything
-    for kind, start, end in _downtime_spans(trace):
-        fill = _REBUILD_FILL if kind == "rebuild" else _ABORT_FILL
+    # shaded downtime (and overlay) spans behind everything
+    fills = {"rebuild": _REBUILD_FILL, "fast-forward": _FAST_FORWARD_FILL}
+    for kind, start, end in [*_downtime_spans(trace), *spans]:
+        fill = fills.get(kind, _ABORT_FILL)
         parts.append(
             f'<rect x="{_fmt(x_of(start))}" y="{_MARGIN_TOP}" '
             f'width="{_fmt(max(x_of(end) - x_of(start), 0.5))}" height="{plot_h}" '
@@ -191,9 +201,11 @@ def render_gantt_svg(
     return "\n".join(parts)
 
 
-def render_gantt_html(trace: "RuntimeTrace", width: int = 960, max_rows: int = 60) -> str:
+def render_gantt_html(
+    trace: "RuntimeTrace", width: int = 960, max_rows: int = 60, spans=()
+) -> str:
     """Self-contained HTML page: the SVG plus a legend and a summary table."""
-    svg = render_gantt_svg(trace, width=width, max_rows=max_rows)
+    svg = render_gantt_svg(trace, width=width, max_rows=max_rows, spans=spans)
     legend = "".join(
         f'<li><span style="background:{color}">&nbsp;&nbsp;&nbsp;</span> {status}</li>'
         for status, color in STATUS_COLORS.items()
@@ -227,13 +239,15 @@ def render_gantt_html(trace: "RuntimeTrace", width: int = 960, max_rows: int = 6
     )
 
 
-def write_gantt(trace: "RuntimeTrace", path: str | Path, max_rows: int = 60) -> Path:
+def write_gantt(
+    trace: "RuntimeTrace", path: str | Path, max_rows: int = 60, spans=()
+) -> Path:
     """Write the Gantt chart to *path*, HTML for ``.html``/``.htm``, else SVG."""
     path = Path(path)
     if path.suffix.lower() in (".html", ".htm"):
-        content = render_gantt_html(trace, max_rows=max_rows)
+        content = render_gantt_html(trace, max_rows=max_rows, spans=spans)
     else:
-        content = render_gantt_svg(trace, max_rows=max_rows)
+        content = render_gantt_svg(trace, max_rows=max_rows, spans=spans)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(content)
     return path

@@ -112,11 +112,15 @@ class LatencyHistogram:
         return hist
 
     # ------------------------------------------------------------- recording
-    def observe(self, value: float) -> None:
-        """Record one observation (NaN is ignored — nothing was measured)."""
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record *count* observations of *value* (NaN is ignored — nothing
+        was measured).  The bulk form is what the steady-state fast path
+        uses: a fast-forwarded stretch repeats a handful of exact latency
+        values, so one bucket increment per distinct value keeps the
+        histogram bit-identical to observing every data set individually."""
         if value != value:  # NaN
             return
-        self.counts[bisect_left(LATENCY_BUCKET_EDGES, value)] += 1
+        self.counts[bisect_left(LATENCY_BUCKET_EDGES, value)] += count
 
     def update_sparse(self, sparse: Iterable[tuple[int, int]]) -> None:
         """Add the counts of a sparse transport tuple in place (exact merge)."""
@@ -236,8 +240,8 @@ class MetricsRegistry:
             hist = self._histograms[name] = LatencyHistogram()
         return hist
 
-    def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
+    def observe(self, name: str, value: float, count: int = 1) -> None:
+        self.histogram(name).observe(value, count)
 
     # ----------------------------------------------------------------- views
     @property

@@ -56,12 +56,20 @@ from typing import Iterable
 
 from repro.exceptions import ScheduleError, SchedulingError
 from repro.failures.scenarios import FaultEvent, FaultTrace
-from repro.runtime.admission import ADMIT, DROP, AdmissionPolicy, resolve_admission
+from repro.runtime.admission import (
+    ADMIT,
+    DROP,
+    AdmissionPolicy,
+    QueueAdmissionPolicy,
+    ShedAdmissionPolicy,
+    resolve_admission,
+)
 from repro.runtime.policies import ReschedulePolicy, resolve_policy
 from repro.runtime.trace import DatasetRecord, RuntimeEvent, RuntimeTrace
 from repro.schedule.schedule import Schedule
 from repro.schedule.validation import valid_replicas_under_failures
 from repro.sim.kernel import PipelineKernel
+from repro.sim.steady import SteadyStateDetector, certified_grid
 from repro.utils.gcpause import gc_paused
 
 __all__ = ["OnlineRuntime", "run_online"]
@@ -103,12 +111,18 @@ class _IncrementalExecutor:
     the retaining kernel, see ``tests/property``).
     """
 
-    def __init__(self, schedule: Schedule, probe=None):
+    def __init__(self, schedule: Schedule, probe=None, fast_forward: bool = False):
         self._probe = probe
+        self._fast_forward = bool(fast_forward)
         self._kernel: PipelineKernel | None = PipelineKernel(
-            schedule, retain_history=False, probe=probe
+            schedule, retain_history=False, probe=probe, fast_forward=self._fast_forward
         )
         self._ckpt: dict[int, frozenset[str]] = {}
+
+    def kernel(self) -> PipelineKernel | None:
+        """The live kernel (``None`` mid-rebuild or after an abort) — what
+        the steady-state detector snapshots at window boundaries."""
+        return self._kernel
 
     def admit(self, dataset: int, release: float, admit_time: float) -> None:
         assert self._kernel is not None
@@ -138,7 +152,12 @@ class _IncrementalExecutor:
         self._kernel = None
 
     def on_rebuild_complete(self, schedule: Schedule, now: float, pending: Iterable[int]) -> None:
-        self._kernel = PipelineKernel(schedule, retain_history=False, probe=self._probe)
+        self._kernel = PipelineKernel(
+            schedule,
+            retain_history=False,
+            probe=self._probe,
+            fast_forward=self._fast_forward,
+        )
         for dataset in pending:
             self._kernel.admit_restored(dataset, now, self._ckpt.pop(dataset, ()))
 
@@ -169,6 +188,9 @@ class _FlushExecutor:
     def __init__(self, schedule: Schedule, probe=None):
         self._probe = probe
         self._batch: list[tuple[int, float]] = []  # (dataset, admission instant)
+
+    def kernel(self) -> PipelineKernel | None:
+        return None  # cold pipelines per batch: nothing to fast-forward
 
     def admit(self, dataset: int, release: float, admit_time: float) -> None:
         self._batch.append((dataset, admit_time))
@@ -251,7 +273,15 @@ class OnlineRuntime:
         admission: str | AdmissionPolicy = "shed",
         checkpoint: bool = True,
         probe=None,
+        fast_forward: bool = True,
     ):
+        """*fast_forward* enables the analytic steady-state fast path
+        (:mod:`repro.sim.steady`): quiet stretches whose kernel state repeats
+        window for window are skipped in closed form, bit-identically.  It
+        guards itself off automatically whenever the regime is not provably
+        stationary — flush mode, bounded queue admission, a probe that does
+        not opt in, or a workload whose durations fail the exactness
+        certificate — so the flag is safe to leave on everywhere."""
         if not schedule.is_complete():
             raise ScheduleError("cannot run an incomplete schedule online")
         if rebuild_overhead < 0:
@@ -268,6 +298,7 @@ class OnlineRuntime:
         self.rebuild_beyond_epsilon = bool(rebuild_beyond_epsilon)
         self.rebuild_on_repair = bool(rebuild_on_repair)
         self.checkpoint = bool(checkpoint)
+        self.fast_forward = bool(fast_forward)
         #: optional :class:`repro.obs.probe.Probe`; ``None`` costs one pointer
         #: comparison at each instrumented site (see docs/observability.md)
         self.probe = probe
@@ -304,8 +335,25 @@ class OnlineRuntime:
         admission = self.admission
         admission.reset()
         probe = self.probe
+        # Steady-state fast forward is only attempted where the regime can be
+        # stationary: incremental execution, an admission policy that never
+        # builds regime-changing backlog pressure (shed, or an unbounded
+        # queue), and a probe that opted into bulk callbacks.  Everything
+        # else runs the exact per-event loop unchanged.
+        ff_eligible = (
+            self.fast_forward
+            and self.checkpoint
+            and (probe is None or getattr(probe, "supports_fast_forward", False))
+            and (
+                isinstance(admission, ShedAdmissionPolicy)
+                or (
+                    isinstance(admission, QueueAdmissionPolicy)
+                    and admission.capacity is None
+                )
+            )
+        )
         executor = (
-            _IncrementalExecutor(initial, probe)
+            _IncrementalExecutor(initial, probe, fast_forward=ff_eligible)
             if self.checkpoint
             else _FlushExecutor(initial, probe)
         )
@@ -328,7 +376,42 @@ class OnlineRuntime:
         abort_time = _INF
         pending: dict[int, float] = {}  # admitted, in flight: dataset -> release
 
+        # --- steady-state fast forward (see repro.sim.steady): the detector
+        # watches quiet window boundaries; ff_clean tracks whether every
+        # release since the last boundary was admitted at its own instant;
+        # ff_window buffers the boundary-to-boundary drained completions
+        # (the synthesis template once the detector locks).
+        window = _ADMIT_WINDOW
+        ff_detector: SteadyStateDetector | None = None
+        ff_clean = True
+        ff_window: list[tuple[int, float]] = []
+
+        def ff_bind() -> None:
+            """(Re)attach the detector to the executor's current kernel —
+            every (re)built schedule needs its own exactness certificate."""
+            nonlocal ff_detector, ff_clean
+            ff_detector = None
+            ff_clean = True
+            ff_window.clear()
+            kernel = executor.kernel() if ff_eligible else None
+            if kernel is None:
+                return
+            grid_exp = certified_grid(kernel, period, horizon)
+            if grid_exp is not None:
+                ff_detector = SteadyStateDetector(kernel, grid_exp, period, window)
+
+        def ff_reset() -> None:
+            """Forget detector history across any control event: the
+            periodicity proof only covers undisturbed evolution."""
+            nonlocal ff_clean
+            if ff_detector is not None:
+                ff_detector.reset()
+                ff_clean = True
+                ff_window.clear()
+
         def record_completions(completions) -> None:
+            if ff_detector is not None and completions:
+                ff_window.extend(completions)
             for j, t in completions:
                 r = pending.pop(j)
                 records[j] = (j, r, t, "completed")
@@ -336,6 +419,8 @@ class OnlineRuntime:
                     probe.on_dataset(j, r, t, "completed")
 
         def lose(j: int, r: float, status: str) -> None:
+            nonlocal ff_clean
+            ff_clean = False
             records[j] = (j, r, None, status)
             if probe is not None:
                 probe.on_dataset(j, r, None, status)
@@ -346,7 +431,9 @@ class OnlineRuntime:
                 probe.on_runtime_event(event)
 
         def admit(j: int, release: float, admit_time: float) -> None:
-            nonlocal next_slot
+            nonlocal next_slot, ff_clean
+            if admit_time != release:
+                ff_clean = False  # throttled/deferred slot: not a quiet window
             pending[j] = release
             executor.admit(j, release, admit_time)
             next_slot = admit_time + admit_period
@@ -378,6 +465,54 @@ class OnlineRuntime:
             for j, r in admission.drain():
                 admit(j, r, max(r, next_slot))
 
+        def ff_boundary(t_base: float, limit: float) -> None:
+            """One quiet window boundary: fingerprint, and jump when locked.
+
+            *limit* bounds the landing instant (the next fault arrival or
+            the horizon).  A lock proves the stream repeats the last window
+            forever under the exactness certificate, so the skipped records
+            are the template shifted by exact multiples of ``(window·Δ,
+            window)`` — synthesized in closed form, bit-identical to
+            simulating them event by event.
+            """
+            nonlocal next_j, next_slot, ff_clean
+            template, clean = tuple(ff_window), ff_clean
+            ff_window.clear()
+            ff_clean = True
+            if not ff_detector.observe(t_base, next_j, clean):
+                return
+            if len(template) != window:
+                ff_detector.reset()  # steady throughput must match admission
+                return
+            budget = (num_datasets - next_j) // window
+            m = ff_detector.max_windows(t_base, budget, limit)
+            if m < 1:
+                return
+            delta = ff_detector.delta
+            for s in range(1, m + 1):
+                base = t_base + s * delta
+                step = s * window
+                for j, t in template:
+                    jj = j + step
+                    assert records[jj] is None
+                    records[jj] = (jj, releases[jj], (t - t_base) + base, "completed")
+            if probe is not None:
+                bulk: dict[float, int] = {}
+                for j, t in template:
+                    lat = t - releases[j]
+                    bulk[lat] = bulk.get(lat, 0) + m
+                probe.on_fast_forward(
+                    (t_base, t_base + m * delta), m * window, tuple(bulk.items())
+                )
+            _, j_new = ff_detector.jump(m)
+            live = sorted(pending)
+            pending.clear()
+            shift = m * window
+            for j in live:
+                pending[j + shift] = releases[j + shift]
+            next_j = j_new
+            next_slot = releases[j_new - 1] + admit_period
+
         def start_rebuild(now: float, kind: str, processor: str | None) -> None:
             nonlocal rebuilding, rebuild_done, down_since
             rebuilding = True
@@ -393,12 +528,14 @@ class OnlineRuntime:
             abort_time = now
             note(RuntimeEvent(now, "abort", None, reason))
             executor.on_abort(now)
+            ff_bind()  # no kernel left: detaches the detector
             for j, r in admission.drain():
                 lose(j, r, "lost-abort")
             for j, r in pending.items():
                 lose(j, r, "lost-abort")
             pending.clear()
 
+        ff_bind()
         i = 0
         windowed = self.checkpoint  # see _ADMIT_WINDOW: flush mode is exempt
         while True:
@@ -413,7 +550,11 @@ class OnlineRuntime:
             if probe is not None:
                 executor.sample_gauges(probe, now)
             if now < rebuild_done and now < next_fault:
-                continue  # window boundary only: admit + advance, no control event
+                # window boundary only: admit + advance, no control event —
+                # exactly the quiet cadence the steady-state detector watches
+                if ff_detector is not None and not rebuilding and not aborted:
+                    ff_boundary(now, min(next_fault, horizon))
+                continue
 
             if rebuilding and rebuild_done <= next_fault:
                 # ------------------------------------------------ rebuild done
@@ -455,11 +596,13 @@ class OnlineRuntime:
                                 f"period={schedule.period:g}",
                             )
                         )
+                        ff_bind()  # fresh kernel: re-certify and re-warm
                 seg_start = now
                 continue
 
             event = fault_events[i]
             i += 1
+            ff_reset()  # any control event invalidates the periodicity proof
             if event.is_crash:
                 if event.processor in dead:
                     continue
@@ -592,6 +735,7 @@ def run_online(
     admission: str | AdmissionPolicy = "shed",
     checkpoint: bool = True,
     probe=None,
+    fast_forward: bool = True,
 ) -> RuntimeTrace:
     """Convenience wrapper: run *schedule* online through *fault_trace*."""
     runtime = OnlineRuntime(
@@ -602,5 +746,6 @@ def run_online(
         admission=admission,
         checkpoint=checkpoint,
         probe=probe,
+        fast_forward=fast_forward,
     )
     return runtime.run(num_datasets)

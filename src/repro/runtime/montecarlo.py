@@ -61,6 +61,7 @@ class RuntimeTrialSpec:
     rebuild_on_repair: bool = False
     rebuild_overhead: float = 1.0
     period_slack: float = 2.0
+    fast_forward: bool = True
 
     def __post_init__(self) -> None:
         check_positive(self.granularity, "granularity")
@@ -146,6 +147,7 @@ class RuntimeTrialSpec:
                 checkpoint=self.checkpoint,
                 rebuild_on_repair=self.rebuild_on_repair,
                 rebuild_overhead=self.rebuild_overhead,
+                fast_forward=self.fast_forward,
             ),
         )
 

@@ -189,6 +189,7 @@ def execute_online(
         rebuild_on_repair=spec.runtime.rebuild_on_repair,
         admission=admission,
         checkpoint=spec.runtime.checkpoint,
+        fast_forward=spec.runtime.fast_forward,
         probe=probe,
     )
     return runtime.run(spec.runtime.num_datasets)

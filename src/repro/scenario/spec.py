@@ -265,6 +265,7 @@ class RuntimeSpec:
     checkpoint: bool = True
     rebuild_on_repair: bool = False
     rebuild_overhead: float = 1.0
+    fast_forward: bool = True
 
     def __post_init__(self) -> None:
         _require(
@@ -292,6 +293,10 @@ class RuntimeSpec:
             f"runtime.rebuild_overhead must be >= 0, got {self.rebuild_overhead!r}",
         )
         _set(self, "rebuild_overhead", float(self.rebuild_overhead))
+        _require(
+            isinstance(self.fast_forward, bool),
+            f"runtime.fast_forward must be a bool, got {self.fast_forward!r}",
+        )
 
 
 #: the four sections of a scenario, in canonical serialization order.

@@ -148,6 +148,7 @@ class PipelineKernel:
         valid_replicas: dict[str, list[Replica]] | None = None,
         retain_history: bool = True,
         probe=None,
+        fast_forward: bool = False,
     ):
         """*valid_replicas* lets a driver that already ran
         :func:`~repro.schedule.validation.valid_replicas_under_failures` for
@@ -158,7 +159,12 @@ class PipelineKernel:
         depth instead of the stream length.  *probe* is an optional
         :class:`repro.obs.probe.Probe`: per-kind event counts are accumulated
         in a local list and flushed once per drain, so a ``None`` probe costs
-        a single pointer comparison per event."""
+        a single pointer comparison per event.  *fast_forward* marks the
+        kernel as snapshot/restore-capable for the steady-state fast path
+        (:mod:`repro.sim.steady`): the driver may then capture its state at
+        admission-window boundaries and, under the exactness certificate,
+        jump it over provably periodic stretches; it requires the evicting
+        memory model (``retain_history=False``)."""
         if not schedule.is_complete():
             raise ScheduleError("cannot simulate an incomplete schedule")
         failed = frozenset(failed)
@@ -224,6 +230,15 @@ class PipelineKernel:
         self._max_evicted = -1  # highest retired index: re-admission guard
         self._peak_live = 0
         self._probe = probe
+        if fast_forward and self.retain_history:
+            raise ScheduleError(
+                "fast_forward requires the evicting memory model "
+                "(retain_history=False)"
+            )
+        #: the driver may snapshot/fast-forward this kernel (see
+        #: :mod:`repro.sim.steady`); purely a capability marker — the kernel
+        #: itself processes events identically either way.
+        self.fast_forward = bool(fast_forward)
 
     # ------------------------------------------------------------------ queries
     @property
@@ -342,6 +357,54 @@ class PipelineKernel:
             )
             seq += num_datasets
         queue.set_next_seq(seq)
+        heapq.heapify(heap)
+
+    def admit_stream_window(
+        self, start: int, stop: int, period: float, stream_total: int
+    ) -> None:
+        """Admit data sets ``[start, stop)`` of the uniform ``j·period`` stream.
+
+        The windowed form of :meth:`admit_batch_vectorized` for a stream of
+        *stream_total* data sets: release events carry the **exact sequence
+        numbers** the one-shot vectorized admission would have assigned
+        (``1 + entry_index·stream_total + j``), and the queue counter is
+        floored at ``entry_replicas·stream_total`` so every event pushed by
+        the run loop sorts after every release.  A windowed drive —
+        ``admit_stream_window`` + ``run_until`` just *below* each window
+        boundary, repeated — therefore pops events in an order identical to
+        the one-shot admission, tie for tie, which is what lets the
+        steady-state fast path (:mod:`repro.sim.steady`) snapshot at window
+        boundaries without perturbing results.
+        """
+        if not 0 <= start < stop <= stream_total:
+            raise ScheduleError(
+                f"window [{start}, {stop}) outside stream of {stream_total}"
+            )
+        if period < 0:
+            raise ScheduleError("period must be non-negative")
+        indices = range(start, stop)
+        times = (np.arange(start, stop, dtype=np.float64) * period).tolist()
+        if start <= self._max_evicted:
+            raise ScheduleError(f"data set {start} was already admitted")
+        if self._admitted:
+            for j in indices:
+                if j in self._admitted:
+                    raise ScheduleError(f"data set {j} was already admitted")
+        self._admitted.update(zip(indices, times))
+        refs = self._refs
+        if refs is not None:
+            entries = len(self._entry_states)
+            refs.update((j, refs.get(j, 0) + entries) for j in indices)
+        queue = self._queue
+        heap = queue.heap
+        for e, state in enumerate(self._entry_states):
+            base = 1 + e * stream_total
+            heap.extend(
+                (t, base + j, _RELEASE, (state, j)) for j, t in zip(indices, times)
+            )
+        floor = len(self._entry_states) * stream_total
+        if queue._count < floor:
+            queue._count = floor
         heapq.heapify(heap)
 
     def admit_restored(
