@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Minimal client of the scheduling service — stdlib urllib only.
+
+Start a server in one shell::
+
+    repro-streaming serve --port 8000
+
+then submit a scenario, follow its progress events, and fetch the result::
+
+    python examples/service_client.py examples/scenario.json
+    python examples/service_client.py examples/suite.json --suite --trials 2
+    python examples/service_client.py examples/scenario.json --base http://127.0.0.1:8000
+
+Run it twice: the second submit is answered from the result cache with
+``executed: 0`` and the same ``result_key`` — the key is the content hash of
+(spec, seed, engine version), so identical inputs *are* the same result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+POLL_SECONDS = 0.3
+
+
+def _call(method: str, url: str, body: dict | None = None) -> dict:
+    """One JSON request/response exchange; HTTP errors carry JSON too."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return json.load(response)
+    except urllib.error.HTTPError as exc:
+        payload = json.load(exc)
+        error = payload.get("error", {})
+        retry = exc.headers.get("Retry-After")
+        hint = f" (Retry-After: {retry}s)" if retry else ""
+        raise SystemExit(
+            f"{exc.code} {error.get('kind', 'error')}: "
+            f"{error.get('message', '')}{hint}"
+        )
+
+
+def submit(base: str, document: dict, *, suite: bool, seed: int | None,
+           trials: int | None) -> dict:
+    """POST the scenario/suite document; returns the job envelope."""
+    if suite:
+        body: dict = {"suite": document}
+        if trials is not None:
+            body["trials"] = trials
+    else:
+        body = {"scenario": document}
+    if seed is not None:
+        body["seed"] = seed
+    route = "/v1/suites" if suite else "/v1/scenarios"
+    return _call("POST", base + route, body)
+
+
+def poll(base: str, job_id: str, *, quiet: bool = False) -> dict:
+    """Follow the job to a terminal state, printing events as they arrive."""
+    seen = -1
+    while True:
+        events = _call("GET", f"{base}/v1/jobs/{job_id}/events?after={seen}")
+        for event in events["events"]:
+            seen = event["seq"]
+            if not quiet:
+                detail = {k: v for k, v in event.items() if k not in ("seq", "event")}
+                print(f"  [{event['seq']:3d}] {event['event']} {detail or ''}")
+        status = _call("GET", f"{base}/v1/jobs/{job_id}")
+        if status["state"] in ("done", "failed"):
+            return status
+        time.sleep(POLL_SECONDS)
+
+
+def fetch(base: str, result_key: str) -> dict:
+    """GET the published result document by its content-hash key."""
+    return _call("GET", f"{base}/v1/results/{result_key}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("file", help="scenario (or, with --suite, suite) JSON file")
+    parser.add_argument("--base", default="http://127.0.0.1:8000",
+                        help="service root (default: %(default)s)")
+    parser.add_argument("--suite", action="store_true",
+                        help="submit the file as a suite, not a scenario")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--trials", type=int, default=None,
+                        help="override the suite's trials per point")
+    args = parser.parse_args(argv)
+
+    with open(args.file) as handle:
+        document = json.load(handle)
+
+    job = submit(args.base, document, suite=args.suite, seed=args.seed,
+                 trials=args.trials)
+    print(f"job {job['job'][:16]}…  state={job['state']}  "
+          f"cached={job['cached']}  result_key={job['result_key'][:16]}…")
+    if job["state"] not in ("done", "failed"):
+        job = poll(args.base, job["job"])
+    if job["state"] == "failed":
+        print(f"job failed: {job.get('error')}", file=sys.stderr)
+        return 1
+    print(f"done: cached={job['cached']} executed={job['executed']}")
+    result = fetch(args.base, job["result_key"])
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,14 @@ identical run recomputes it)::
 
     repro-streaming cache ls
     repro-streaming cache gc --max-size 500M
+
+Scheduling-as-a-service: serve the whole engine over HTTP — POST a scenario
+or suite JSON, poll the job, fetch the content-hashed result (an identical
+re-submit is answered from cache without executing); ``suite report --json``
+prints the same machine-readable document the results endpoint serves::
+
+    repro-streaming serve --port 8000 --workers 2
+    repro-streaming suite report examples/suite.json --json
 """
 
 from __future__ import annotations
@@ -138,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_parser(sub)
     _add_suite_parser(sub)
     _add_cache_parser(sub)
+    _add_serve_parser(sub)
     return parser
 
 
@@ -500,6 +509,14 @@ def _add_suite_parser(sub) -> None:
     )
     _add_suite_exec_options(report_p)
     report_p.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "print the machine-readable suite result document instead of the "
+            "report — the same JSON the service's results endpoint serves"
+        ),
+    )
+    report_p.add_argument(
         "--trajectory",
         default=None,
         metavar="PATH",
@@ -600,6 +617,8 @@ def _run_suite_command(args: argparse.Namespace) -> int:
             cache=_open_cli_cache(args),
             reduce=args.reduce,
         )
+        if args.suite_command == "report" and args.json:
+            return _print_suite_json(result, args)
         render = (
             render_latency_report
             if args.suite_command == "report"
@@ -614,6 +633,21 @@ def _run_suite_command(args: argparse.Namespace) -> int:
     print(report)
     if args.suite_command == "report":
         return _report_trajectory(args)
+    return 0
+
+
+def _print_suite_json(result, args: argparse.Namespace) -> int:
+    """``suite report --json``: the service's machine-readable result document.
+
+    The exact payload ``GET /v1/results/{key}`` serves (same ``result_key``
+    derivation), so CLI pipelines and HTTP dashboards consume one format.
+    """
+    import json
+
+    from repro.service.models import suite_result_key, suite_result_payload
+
+    key = suite_result_key(result.suite, result.seed, result.trials, args.reduce)
+    print(json.dumps(suite_result_payload(result, reduce=args.reduce, key=key)))
     return 0
 
 
@@ -742,6 +776,98 @@ def _add_cache_parser(sub) -> None:
             default=None,
             help="cache directory (default: the user cache dir; $REPRO_CACHE_DIR overrides)",
         )
+
+
+def _add_serve_parser(sub) -> None:
+    p = sub.add_parser(
+        "serve",
+        help=(
+            "serve the engine over HTTP: POST scenarios/suites, poll jobs, "
+            "fetch content-hashed results (see docs/service.md)"
+        ),
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback only)"
+    )
+    p.add_argument(
+        "--port", type=int, default=8000, help="TCP port (0 picks a free one)"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent job executions (threads running scenario/suite jobs)",
+    )
+    p.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=8,
+        help=(
+            "admitted-but-not-yet-running jobs; beyond workers + this, "
+            "submits are shed with 429 + Retry-After instead of queueing"
+        ),
+    )
+    p.add_argument(
+        "--exec-jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes per suite job, forwarded to the campaign "
+            "engine (bit-identical results at any value)"
+        ),
+    )
+    p.add_argument(
+        "--progress-every",
+        type=int,
+        default=200,
+        help="datasets between two progress events on the job event stream",
+    )
+    _add_cache_options(p, cache_by_default=True)
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
+    from repro.service import JobStore, ServiceApp, WorkerPool, make_threaded_server
+    from repro.service.limits import CircuitBreaker
+
+    try:
+        pool = WorkerPool(workers=args.workers, queue_capacity=args.queue_capacity)
+    except ValueError as exc:
+        print(f"repro-streaming serve: error: {exc}", file=sys.stderr)
+        return 2
+    store = JobStore(
+        cache=_open_cli_cache(args),
+        pool=pool,
+        exec_jobs=args.exec_jobs,
+        breaker=CircuitBreaker(),
+        progress_every=args.progress_every,
+    )
+    try:
+        server = make_threaded_server(ServiceApp(store), args.host, args.port)
+    except OSError as exc:
+        print(
+            f"repro-streaming serve: error: cannot bind {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        pool.shutdown(wait=False)
+        return 2
+    host, port = server.server_address[:2]
+    cache_note = (
+        "cache off" if args.no_cache else f"cache {args.cache_dir}"
+    )
+    print(
+        f"repro-streaming serve: http://{host}:{port} "
+        f"({args.workers} workers, queue {args.queue_capacity}, {cache_note}) "
+        f"— Ctrl-C stops",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro-streaming serve: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        pool.shutdown(wait=False)
+    return 0
 
 
 def _run_cache_command(args: argparse.Namespace) -> int:
@@ -1049,6 +1175,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_suite_command(args)
     if command == "cache":
         return _run_cache_command(args)
+    if command == "serve":
+        return _run_serve_command(args)
 
     config = _config(args)
     jobs = getattr(args, "jobs", 1)

@@ -25,6 +25,7 @@ from repro.runtime.engine import OnlineRuntime
 from repro.runtime.trace import RuntimeTrace
 from repro.scenario.registries import SCHEDULERS, WORKLOAD_GENERATORS
 from repro.scenario.spec import FaultSpec, ScenarioSpec, SchedulerSpec, WorkloadSpec
+from repro.utils.registry import close_matches_hint
 from repro.schedule.schedule import Schedule
 from repro.utils.rng import derive_seed, ensure_rng
 
@@ -36,7 +37,19 @@ __all__ = [
     "build_fault_trace",
     "execute_online",
     "run_scenario_online",
+    "validate_spec_options",
 ]
+
+
+def validate_spec_options(spec: ScenarioSpec) -> None:
+    """Pre-flight the parts of *spec* only execution would otherwise check.
+
+    Today that is the ``scheduler.options`` ↔ builder-signature match; the
+    service calls this at submit time so a bad key is an immediate HTTP 422,
+    not a failed job minutes later.
+    """
+    entry = SCHEDULERS.lookup(spec.scheduler.name)
+    _check_scheduler_options(spec.scheduler.name, entry.build, dict(spec.scheduler.options))
 
 
 def resolve_seeds(spec: ScenarioSpec, seed: int) -> tuple[int, int]:
@@ -80,6 +93,43 @@ def _accepted_options(builder, options: dict) -> dict:
     return {k: v for k, v in options.items() if k in accepted}
 
 
+#: builder parameters the pipeline itself supplies — never scheduler.options.
+_RESERVED_BUILDER_PARAMS = ("graph", "platform", "period", "epsilon")
+
+
+def _check_scheduler_options(name: str, builder, options: dict) -> None:
+    """Reject ``scheduler.options`` keys the named heuristic does not accept.
+
+    Without this, an unknown key would surface as a raw ``TypeError`` from
+    the builder call deep in the scheduling ladder; validated here, it becomes
+    a :class:`SpecificationError` with the same close-match suggestion style
+    every other spec field produces (CLI exit 2 / service HTTP 422).
+    """
+    if not options:
+        return
+    import inspect
+
+    try:
+        params = inspect.signature(builder).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return  # builder takes **kwargs: every key is its problem now
+    allowed = tuple(
+        pname
+        for pname, p in params.items()
+        if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+        and pname not in _RESERVED_BUILDER_PARAMS
+    )
+    for key in options:
+        if key not in allowed:
+            raise SpecificationError(
+                f"scheduler.options key {key!r} not accepted by scheduler "
+                f"{name!r}, expected one of {sorted(allowed)}"
+                f"{close_matches_hint(key, allowed)}"
+            )
+
+
 def resolve_period(workload: PaperWorkload, scheduler: SchedulerSpec) -> float:
     """The iteration period Δ of the scenario: explicit, or slack-derived."""
     if scheduler.period is not None:
@@ -107,6 +157,7 @@ def build_schedule(
         period = resolve_period(workload, scheduler)
     entry = SCHEDULERS.lookup(scheduler.name)
     options = dict(scheduler.options)
+    _check_scheduler_options(scheduler.name, entry.build, options)
     if not entry.supports_epsilon:
         return entry.build(workload.graph, workload.platform, period=period, **options)
     if scheduler.fallback:

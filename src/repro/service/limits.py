@@ -1,0 +1,224 @@
+"""Admission control of the scheduling service: shed early, never queue blind.
+
+The online runtime already has this vocabulary — its bounded-queue admission
+policies *shed* datasets instead of queueing them into certain loss — and the
+service applies the same principle one level up, to whole jobs:
+
+* :class:`WorkerPool` — a bounded executor with **admission at submit time**:
+  when every worker slot and every queue slot is taken, :meth:`submit` raises
+  :class:`PoolSaturated` immediately (the HTTP layer turns that into
+  ``429 Too Many Requests`` with a ``Retry-After`` estimate) rather than
+  letting an unbounded backlog build.  One 10k-point suite can occupy at most
+  its admitted slot; it cannot starve the pool for everyone else.
+* :class:`CircuitBreaker` — trips open after consecutive job *failures* so a
+  poisoned configuration (e.g. a cache directory on a dead disk) fails fast
+  for a cooldown instead of burning worker slots, then half-opens to probe.
+
+Both are plain synchronous objects with injectable clocks — no daemon
+threads, no HTTP — so the unit tests drive every transition deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable
+
+from repro.exceptions import ReproError
+
+__all__ = ["PoolSaturated", "CircuitOpen", "WorkerPool", "CircuitBreaker"]
+
+
+class PoolSaturated(ReproError):
+    """Raised at submit time when the worker pool sheds the request.
+
+    *retry_after* is the pool's estimate (seconds, >= 1) of when a slot will
+    free up, derived from recent job durations; the HTTP layer forwards it as
+    the ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: int = 1):
+        super().__init__(message)
+        self.retry_after = max(1, int(retry_after))
+
+
+class CircuitOpen(ReproError):
+    """Raised while the circuit breaker is open (maps to HTTP 503)."""
+
+    def __init__(self, message: str, retry_after: int = 1):
+        super().__init__(message)
+        self.retry_after = max(1, int(retry_after))
+
+
+class WorkerPool:
+    """A bounded thread pool that rejects — never queues — beyond capacity.
+
+    Admission happens in :meth:`submit` under the lock: at most *workers*
+    jobs run concurrently and at most *queue_capacity* sit admitted-but-idle;
+    a submit beyond ``workers + queue_capacity`` raises :class:`PoolSaturated`
+    with a duration-based retry hint.  This is the shed-early half of the
+    CircuitBreaker/backpressure pattern: the client gets an honest "try again
+    in N seconds" instead of a request parked in an invisible backlog.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_capacity: int = 8,
+        clock: Callable[[], float] | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_capacity < 0:
+            raise ValueError(f"queue_capacity must be >= 0, got {queue_capacity}")
+        import time
+
+        self.workers = workers
+        self.queue_capacity = queue_capacity
+        self._clock = clock or time.monotonic
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-service"
+        )
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._durations: deque[float] = deque(maxlen=32)
+        self._shed_count = 0
+
+    @property
+    def capacity(self) -> int:
+        """Total admitted jobs the pool holds: running + bounded queue."""
+        return self.workers + self.queue_capacity
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def shed_count(self) -> int:
+        """How many submits were rejected with :class:`PoolSaturated`."""
+        with self._lock:
+            return self._shed_count
+
+    def retry_after_hint(self) -> int:
+        """Seconds until a slot plausibly frees (>= 1, from recent durations)."""
+        with self._lock:
+            if not self._durations:
+                return 1
+            mean = sum(self._durations) / len(self._durations)
+        return max(1, round(mean))
+
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        """Admit and schedule *fn*, or raise :class:`PoolSaturated` now."""
+        with self._lock:
+            if self._inflight >= self.capacity:
+                self._shed_count += 1
+                hint = (
+                    max(1, round(sum(self._durations) / len(self._durations)))
+                    if self._durations
+                    else 1
+                )
+                raise PoolSaturated(
+                    f"worker pool saturated: {self._inflight} jobs admitted of "
+                    f"capacity {self.capacity} ({self.workers} workers + "
+                    f"{self.queue_capacity} queued); shedding instead of queueing",
+                    retry_after=hint,
+                )
+            self._inflight += 1
+        started = self._clock()
+
+        def tracked():
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                elapsed = self._clock() - started
+                with self._lock:
+                    self._inflight -= 1
+                    self._durations.append(elapsed)
+
+        try:
+            return self._executor.submit(tracked)
+        except BaseException:
+            with self._lock:  # pragma: no cover - executor shutdown race
+                self._inflight -= 1
+            raise
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+
+class CircuitBreaker:
+    """Closed → open on consecutive failures → half-open probe after cooldown.
+
+    ``allow()`` is the admission question ("may this job run?"); the caller
+    reports the outcome with ``record_success()`` / ``record_failure()``.
+    While open, :meth:`check` raises :class:`CircuitOpen` carrying the time
+    left on the cooldown.  A half-open probe that succeeds closes the circuit
+    and resets the failure count; one that fails re-opens it for a full
+    cooldown.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        import time
+
+        self.failure_threshold = failure_threshold
+        self.cooldown = float(cooldown)
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._tick()
+            return self._state
+
+    def _tick(self) -> None:
+        # lock held: open → half-open once the cooldown elapses.
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = self.HALF_OPEN
+
+    def allow(self) -> bool:
+        with self._lock:
+            self._tick()
+            return self._state != self.OPEN
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpen` unless a job may run now."""
+        with self._lock:
+            self._tick()
+            if self._state == self.OPEN:
+                remaining = self.cooldown - (self._clock() - self._opened_at)
+                raise CircuitOpen(
+                    f"circuit open after {self._failures} consecutive job "
+                    f"failures; retry in {max(1, round(remaining))}s",
+                    retry_after=max(1, round(remaining)),
+                )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._tick()
+            self._failures += 1
+            if self._state == self.HALF_OPEN or self._failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()

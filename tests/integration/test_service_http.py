@@ -1,0 +1,156 @@
+"""The service over a real socket: wsgiref server + the stdlib example client.
+
+Everything the unit suite drives through the WSGI callable directly is
+exercised here once through actual HTTP — threaded server, urllib client,
+headers — including the shipped ``examples/service_client.py`` helpers
+(submit → poll → fetch), so the example code is tested code.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.cache.disk import DiskCache
+from repro.service import JobStore, ServiceApp, WorkerPool, make_threaded_server
+
+REPO = Path(__file__).resolve().parents[2]
+
+SPEC = {
+    "name": "http-test",
+    "workload": {"num_tasks": 10, "num_processors": 4},
+    "scheduler": {"epsilon": 1},
+    "faults": {"mttf_periods": 60.0},
+    "runtime": {"num_datasets": 25},
+}
+
+
+def _load_client():
+    spec = importlib.util.spec_from_file_location(
+        "service_client", REPO / "examples" / "service_client.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+client = _load_client()
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live threaded service on an ephemeral loopback port."""
+    app = ServiceApp(
+        JobStore(
+            cache=DiskCache(tmp_path / "cache"),
+            pool=WorkerPool(workers=1, queue_capacity=2),
+        )
+    )
+    srv = make_threaded_server(app, "127.0.0.1", 0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    host, port = srv.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", app
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        app.jobs.pool.shutdown(wait=False)
+        thread.join(timeout=5)
+
+
+class TestOverHTTP:
+    def test_submit_poll_fetch_and_cached_resubmit(self, server):
+        base, app = server
+        job = client.submit(base, SPEC, suite=False, seed=4, trials=None)
+        assert job["state"] in ("queued", "running", "done")
+        status = client.poll(base, job["job"], quiet=True)
+        assert status["state"] == "done"
+        assert status["executed"] == SPEC["runtime"]["num_datasets"]
+        result = client.fetch(base, job["result_key"])
+        assert result["result_key"] == job["result_key"]
+        assert result["summary"]["datasets"] == SPEC["runtime"]["num_datasets"]
+        # identical re-submit over HTTP: cache-served, nothing executed
+        again = client.submit(base, SPEC, suite=False, seed=4, trials=None)
+        assert again["state"] == "done"
+        assert again["cached"] is True and again["executed"] == 0
+        assert again["result_key"] == job["result_key"]
+
+    def test_suite_submit_round_trip(self, server):
+        base, _app = server
+        suite = {
+            "name": "http-suite",
+            "trials": 1,
+            "base": {
+                "workload": {"num_tasks": 8, "num_processors": 4},
+                "runtime": {"num_datasets": 10},
+            },
+            "axes": {"workload.num_processors": [3, 4]},
+        }
+        job = client.submit(base, suite, suite=True, seed=None, trials=None)
+        status = client.poll(base, job["job"], quiet=True)
+        assert status["state"] == "done" and status["executed"] == 2
+        result = client.fetch(base, job["result_key"])
+        assert result["kind"] == "suite" and result["num_points"] == 2
+        assert all("campaign_key" in point for point in result["points"])
+
+    def test_validation_error_is_http_422(self, server):
+        base, _app = server
+        with pytest.raises(SystemExit, match="422.*num_tasks"):
+            client.submit(
+                base, {"workload": {"num_taskz": 1}}, suite=False, seed=None,
+                trials=None,
+            )
+
+    def test_saturation_is_http_429_with_retry_after_header(self, server):
+        base, app = server
+        gate = threading.Event()
+        # fill every pool slot (1 worker + 2 queue) out-of-band
+        blockers = [app.jobs.pool.submit(gate.wait) for _ in range(3)]
+        try:
+            body = json.dumps({"scenario": SPEC}).encode()
+            request = urllib.request.Request(
+                f"{base}/v1/scenarios", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request)
+            assert err.value.code == 429
+            assert int(err.value.headers["Retry-After"]) >= 1
+            assert json.load(err.value)["error"]["kind"] == "saturated"
+        finally:
+            gate.set()
+            for blocker in blockers:
+                blocker.result(5)
+
+    def test_healthz_while_a_job_runs(self, server):
+        base, app = server
+        gate = threading.Event()
+        app.jobs.pool.submit(gate.wait)
+        try:
+            # the threaded server answers even with the pool busy
+            with urllib.request.urlopen(f"{base}/v1/healthz", timeout=5) as response:
+                health = json.load(response)
+            assert health["status"] == "ok"
+            assert health["pool"]["inflight"] == 1
+        finally:
+            gate.set()
+
+    def test_client_main_end_to_end(self, server, tmp_path, capsys):
+        base, _app = server
+        scenario_file = tmp_path / "scenario.json"
+        scenario_file.write_text(json.dumps(SPEC))
+        assert client.main([str(scenario_file), "--base", base, "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "done: cached=False" in out
+        # second invocation: the cache answers
+        assert client.main([str(scenario_file), "--base", base, "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "done: cached=True executed=0" in out

@@ -106,6 +106,47 @@ def test_docs_cover_the_fast_forward_surface():
     assert "performance.md#steady-state-fast-forward" in observability
 
 
+def test_service_doc_covers_every_route_and_serve_flag():
+    """docs/service.md must document the full HTTP surface: every route the
+    WSGI app dispatches and every flag `repro-streaming serve` accepts —
+    adding a route or a serve flag without a docs row fails here."""
+    text = (REPO / "docs" / "service.md").read_text()
+    # every route in the app's dispatch table, normalized to docs spelling
+    from repro.service.app import ServiceApp
+
+    app = ServiceApp()
+    for method, pattern, _handler in app._routes:
+        route = re.sub(r"\(\?P<job_id>[^)]*\)", "{id}", pattern.pattern)
+        route = re.sub(r"\(\?P<key>[^)]*\)", "{key}", route)
+        route = route.strip("^$")
+        assert f"{method} {route}" in text, f"service.md misses route {method} {route}"
+    # every flag of the serve subcommand
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    serve_parser = next(
+        action.choices["serve"]
+        for action in parser._actions
+        if hasattr(action, "choices") and action.choices and "serve" in action.choices
+    )
+    flags = [
+        opt
+        for action in serve_parser._actions
+        for opt in action.option_strings
+        if opt.startswith("--") and opt != "--help"
+    ]
+    assert flags, "serve subcommand lost its flags?"
+    for flag in flags:
+        assert f"`{flag}`" in text, f"service.md misses serve flag {flag}"
+    # the satellite features the service shares a format with
+    assert "--json" in text  # suite report --json prints the same document
+    assert "service_client.py" in text
+    for concept in ("result_key", "campaign_key", "Retry-After", "429", "422"):
+        assert concept in text, f"service.md misses {concept}"
+    assert "docs/service.md" in (REPO / "README.md").read_text()
+    assert "service.md" in (REPO / "docs" / "architecture.md").read_text()
+
+
 def test_example_scenario_parses():
     spec = ScenarioSpec.from_file(REPO / "examples" / "scenario.json")
     assert spec.name
