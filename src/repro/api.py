@@ -51,6 +51,7 @@ from repro.failures.simulator import SimulationResult, StreamingSimulator
 from repro.graph.generator import PaperWorkload
 from repro.runtime.trace import RuntimeStats, RuntimeTrace
 from repro.scenario.run import (
+    active_workload,
     build_schedule,
     build_workload,
     execute_online,
@@ -252,7 +253,14 @@ class Session:
             workload_seed, _ = resolve_seeds(self._spec, seed)
             workload = build_workload(self._spec.workload, workload_seed)
             period = resolve_period(workload, self._spec.scheduler)
-            schedule = build_schedule(workload, self._spec.scheduler, period)
+            # Elastic regimes schedule on the initially-active subset (the
+            # spares join mid-stream); the cached workload keeps the full
+            # platform for the fault trace and the runtime's candidate pool.
+            schedule = build_schedule(
+                active_workload(workload, self._spec.faults),
+                self._spec.scheduler,
+                period,
+            )
             self._built[seed] = (workload, schedule)
         return self._built[seed]
 

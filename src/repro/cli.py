@@ -226,6 +226,57 @@ def _add_spec_options(p: argparse.ArgumentParser, suppress: bool = False) -> Non
     p.add_argument(
         "--weibull-shape", type=float, default=default(1.5), help="Weibull shape parameter"
     )
+    p.add_argument(
+        "--fault-trace",
+        default=default(None),
+        metavar="CSV",
+        help=(
+            "replay a recorded availability log (time,node,down|up CSV) "
+            "instead of sampling failures; excludes the other fault flags"
+        ),
+    )
+    p.add_argument(
+        "--group-size",
+        type=int,
+        default=default(None),
+        help=(
+            "correlated crash groups: processors fail (and repair) together "
+            "in declaration-order chunks of this size"
+        ),
+    )
+    p.add_argument(
+        "--load-coupling",
+        type=float,
+        default=default(0.0),
+        help=(
+            "load-dependent hazards: failure intensity scales with "
+            "1 + coupling × processor utilization in the initial schedule"
+        ),
+    )
+    p.add_argument(
+        "--spares",
+        type=int,
+        default=default(0),
+        help=(
+            "elastic platform: this many processors start outside the "
+            "platform and join mid-stream (requires --join-periods)"
+        ),
+    )
+    p.add_argument(
+        "--join-periods",
+        type=float,
+        default=default(None),
+        help="mean node-join delay, in stream periods (with --spares/--preempt-periods)",
+    )
+    p.add_argument(
+        "--preempt-periods",
+        type=float,
+        default=default(None),
+        help=(
+            "spot-preemption mean time between preemptions, in stream "
+            "periods (preempted nodes rejoin after --join-periods)"
+        ),
+    )
     from repro.runtime.admission import ADMISSION_POLICIES
     from repro.runtime.policies import RESCHEDULE_POLICIES
 
@@ -294,6 +345,12 @@ _FLAG_PATHS: dict[str, tuple[str, Callable]] = {
     "mttr": ("faults.mttr_periods", lambda v: v),
     "distribution": ("faults.distribution", lambda v: v),
     "weibull_shape": ("faults.weibull_shape", lambda v: v),
+    "fault_trace": ("faults.trace_file", lambda v: v),
+    "group_size": ("faults.group_size", lambda v: v),
+    "load_coupling": ("faults.load_coupling", lambda v: v),
+    "spares": ("faults.spares", lambda v: v),
+    "join_periods": ("faults.join_periods", lambda v: v),
+    "preempt_periods": ("faults.preempt_periods", lambda v: v),
     "policy": ("runtime.policy", lambda v: v),
     "admission": ("runtime.admission", lambda v: v),
     "queue_capacity": ("runtime.queue_capacity", lambda v: None if v == 0 else v),
@@ -341,6 +398,19 @@ def _add_runtime_parser(sub) -> None:
         "--sweep-shapes",
         default="0.7,1,1.5",
         help="comma-separated Weibull shapes for --sweep (1 = exponential)",
+    )
+    p.add_argument(
+        "--sweep-group-sizes",
+        default=None,
+        help=(
+            "comma-separated crash-group sizes appended as a --sweep axis "
+            "('none' = independent failures)"
+        ),
+    )
+    p.add_argument(
+        "--sweep-load",
+        default=None,
+        help="comma-separated load-coupling factors appended as a --sweep axis",
     )
     p.add_argument(
         "--no-plot", action="store_true", help="print only the tables, no ASCII plots"
@@ -973,7 +1043,7 @@ def _scenario_from_flags(args: argparse.Namespace, name: str = "cli"):
     """Parse the shared spec flags into a declarative ScenarioSpec."""
     from repro.runtime.montecarlo import RuntimeTrialSpec
 
-    return RuntimeTrialSpec(
+    spec = RuntimeTrialSpec(
         granularity=args.granularity,
         num_tasks=args.tasks,
         num_processors=args.processors,
@@ -991,6 +1061,18 @@ def _scenario_from_flags(args: argparse.Namespace, name: str = "cli"):
         rebuild_overhead=args.rebuild_overhead,
         fast_forward=not args.no_fast_forward,
     ).to_scenario(name=name)
+    # The failure-world flags postdate the legacy trial-spec bridge: they are
+    # applied as overrides so the default spec stays byte-identical.
+    world = {
+        "faults.trace_file": args.fault_trace,
+        "faults.group_size": args.group_size,
+        "faults.load_coupling": args.load_coupling or None,
+        "faults.spares": args.spares or None,
+        "faults.join_periods": args.join_periods,
+        "faults.preempt_periods": args.preempt_periods,
+    }
+    overrides = {path: value for path, value in world.items() if value is not None}
+    return spec.updated(overrides) if overrides else spec
 
 
 def _run_runtime_command(args: argparse.Namespace) -> int:
@@ -1010,6 +1092,15 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
     try:
         spec = _scenario_from_flags(args, name="runtime-cli")
         if args.sweep:
+            group_sizes = None
+            if args.sweep_group_sizes is not None:
+                group_sizes = tuple(
+                    None if v is None else int(v)
+                    for v in _parse_grid(args.sweep_group_sizes, "--sweep-group-sizes")
+                )
+            load_couplings = None
+            if args.sweep_load is not None:
+                load_couplings = _parse_grid(args.sweep_load, "--sweep-load")
             sweep = run_runtime_sweep(
                 spec,
                 mttf_grid=_parse_grid(args.sweep_mttf, "--sweep-mttf"),
@@ -1020,6 +1111,8 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 cache=_open_cli_cache(args),
                 reduce=args.reduce,
+                group_sizes=group_sizes,
+                load_couplings=load_couplings,
             )
             print(render_sweep(sweep, plot=not args.no_plot))
             return 0

@@ -22,6 +22,7 @@ __all__ = [
     "ValidationError",
     "ExperimentError",
     "SpecificationError",
+    "FaultTraceError",
 ]
 
 
@@ -92,4 +93,14 @@ class SpecificationError(ReproError, ValueError):
     (the CLI, config loaders) can keep a single ``except ValueError`` clause;
     the message always says *which* key or value is wrong and, for name
     lookups, suggests close matches.
+    """
+
+
+class FaultTraceError(ReproError, ValueError):
+    """Raised by :mod:`repro.failures.trace_io` for malformed availability
+    logs (parse errors, unknown nodes, out-of-order down/up transitions).
+
+    Derives from :class:`ValueError` for the same reason as
+    :class:`SpecificationError`: the CLI and service validate trace files as
+    user input.  The message always carries the file and line number.
     """

@@ -53,6 +53,7 @@ __all__ = [
     "RuntimeSweepResult",
     "run_runtime_sweep",
     "SWEEP_METRICS",
+    "EXTRA_SWEEP_AXES",
     "REPORT_METRICS",
     "SuitePointResult",
     "SweepResult",
@@ -86,6 +87,13 @@ SWEEP_AXES = (
     "faults.mttf_periods",
     "faults.mttr_periods",
     "faults.weibull_shape",
+)
+
+#: optional failure-world axes appended (in this order) when the sweep is
+#: given ``group_sizes`` / ``load_couplings`` grids.
+EXTRA_SWEEP_AXES = (
+    "faults.group_size",
+    "faults.load_coupling",
 )
 
 
@@ -425,12 +433,20 @@ class SweepPoint:
     shape: float
     seed: int
     stats: RuntimeStats
+    group_size: int | None = None
+    load_coupling: float = 0.0
 
     @property
     def series_label(self) -> str:
-        """Label of the curve this point belongs to (one per mttr × shape)."""
+        """Label of the curve this point belongs to (one per mttr × shape,
+        extended with the failure-world axes when they are swept)."""
         mttr = "∞" if self.mttr_periods is None else f"{self.mttr_periods:g}Δ"
-        return f"mttr={mttr}, shape={self.shape:g}"
+        label = f"mttr={mttr}, shape={self.shape:g}"
+        if self.group_size is not None:
+            label += f", groups={self.group_size}"
+        if self.load_coupling:
+            label += f", load={self.load_coupling:g}"
+        return label
 
 
 @dataclass(frozen=True)
@@ -486,8 +502,16 @@ def run_runtime_sweep(
     jobs: int | None = 1,
     cache=None,
     reduce: str = "traces",
+    group_sizes: tuple[int | None, ...] | None = None,
+    load_couplings: tuple[float, ...] | None = None,
 ) -> RuntimeSweepResult:
     """Sweep the failure-regime grid; deterministic for any *jobs* value.
+
+    *group_sizes* / *load_couplings* optionally append the failure-world axes
+    (:data:`EXTRA_SWEEP_AXES` — correlated crash-group size, load-dependent
+    hazard coupling) after the historical mttf × mttr × shape grid; left at
+    ``None`` the grid, its per-point seeds and the report are bit-identical
+    to the three-axis sweep.
 
     Since the suite layer this is a thin adapter: the grid is the
     :class:`~repro.scenario.suite.SuiteSpec` over :data:`SWEEP_AXES` — ordered
@@ -515,11 +539,16 @@ def run_runtime_sweep(
             stacklevel=2,
         )
         spec = spec.to_scenario()
+    axes: dict = dict(
+        zip(SWEEP_AXES, (tuple(mttf_grid), tuple(mttr_grid), tuple(shapes)))
+    )
+    if group_sizes is not None:
+        axes["faults.group_size"] = tuple(group_sizes)
+    if load_couplings is not None:
+        axes["faults.load_coupling"] = tuple(float(c) for c in load_couplings)
     suite = SuiteSpec(
         base=spec.updated({"faults.distribution": "weibull"}),
-        axes=dict(
-            zip(SWEEP_AXES, (tuple(mttf_grid), tuple(mttr_grid), tuple(shapes)))
-        ),
+        axes=axes,
         name=f"{spec.name}-failure-regimes",
         trials=trials,
         seed=seed,
@@ -532,6 +561,8 @@ def run_runtime_sweep(
             shape=point.spec.faults.weibull_shape,
             seed=point.seed,
             stats=point.stats,
+            group_size=point.spec.faults.group_size,
+            load_coupling=point.spec.faults.load_coupling,
         )
         for point in result.points
     )

@@ -13,7 +13,10 @@
 
 The module also provides the *timed* failure model consumed by the online
 runtime (:mod:`repro.runtime`): :class:`~repro.failures.scenarios.FaultTrace`
-and :func:`~repro.failures.scenarios.sample_fault_trace`.
+and :func:`~repro.failures.scenarios.sample_fault_trace`, the fault-process
+classes behind it (:mod:`repro.failures.processes` — correlated crash groups,
+load-dependent hazards, elastic joins/preemptions), and availability-log
+ingestion (:mod:`repro.failures.trace_io`).
 """
 
 from repro.failures.scenarios import (
@@ -23,7 +26,17 @@ from repro.failures.scenarios import (
     FaultEvent,
     FaultTrace,
     sample_fault_trace,
+    FAULT_DISTRIBUTIONS,
+    FAULT_EVENT_KINDS,
 )
+from repro.failures.processes import (
+    FaultProcess,
+    RenewalFaultProcess,
+    ElasticFaultProcess,
+    TraceReplayProcess,
+    resolve_groups,
+)
+from repro.failures.trace_io import load_fault_trace, dump_fault_trace
 from repro.failures.evaluation import (
     CrashEvaluation,
     crash_latency,
@@ -39,6 +52,15 @@ __all__ = [
     "FaultEvent",
     "FaultTrace",
     "sample_fault_trace",
+    "FAULT_DISTRIBUTIONS",
+    "FAULT_EVENT_KINDS",
+    "FaultProcess",
+    "RenewalFaultProcess",
+    "ElasticFaultProcess",
+    "TraceReplayProcess",
+    "resolve_groups",
+    "load_fault_trace",
+    "dump_fault_trace",
     "CrashEvaluation",
     "crash_latency",
     "evaluate_crashes",

@@ -18,11 +18,16 @@ Monte-Carlo campaigns are reproducible.
 from __future__ import annotations
 
 import itertools
-import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.failures.processes import (
+    FAULT_DISTRIBUTIONS,
+    ElasticFaultProcess,
+    RenewalFaultProcess,
+)
 from repro.platform.platform import Platform
 from repro.utils.checks import check_positive
 from repro.utils.rng import ensure_rng
@@ -34,10 +39,14 @@ __all__ = [
     "FaultEvent",
     "FaultTrace",
     "sample_fault_trace",
+    "FAULT_DISTRIBUTIONS",
+    "FAULT_EVENT_KINDS",
 ]
 
-#: fault-arrival distributions understood by :func:`sample_fault_trace`.
-FAULT_DISTRIBUTIONS = ("exponential", "weibull")
+#: event kinds in tie-break order: simultaneous events on the same processor
+#: apply crash first, then repair, then join (see FaultTrace.__post_init__).
+FAULT_EVENT_KINDS = ("crash", "repair", "join")
+_KIND_ORDER = {kind: rank for rank, kind in enumerate(FAULT_EVENT_KINDS)}
 
 
 @dataclass(frozen=True)
@@ -103,15 +112,23 @@ def all_crash_scenarios(platform: Platform, crashes: int) -> list[CrashScenario]
 # ------------------------------------------------------------- timed fault traces
 @dataclass(frozen=True)
 class FaultEvent:
-    """One timed event of a fault trace: a processor crashes or comes back."""
+    """One timed event of a fault trace.
+
+    ``crash`` takes a processor down, ``repair`` brings a crashed processor
+    back, ``join`` adds capacity — a spare (or preempted spot node) entering
+    the platform on an elastic regime.  The online runtime treats repair and
+    join alike for availability but always probes a rebuild on join.
+    """
 
     time: float
     processor: str
-    kind: str  # "crash" | "repair"
+    kind: str  # "crash" | "repair" | "join"
 
     def __post_init__(self) -> None:
-        if self.kind not in ("crash", "repair"):
-            raise ValueError(f"kind must be 'crash' or 'repair', got {self.kind!r}")
+        if self.kind not in FAULT_EVENT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_EVENT_KINDS}, got {self.kind!r}"
+            )
         if self.time < 0:
             raise ValueError(f"event time must be >= 0, got {self.time}")
 
@@ -119,23 +136,38 @@ class FaultEvent:
     def is_crash(self) -> bool:
         return self.kind == "crash"
 
+    @property
+    def is_join(self) -> bool:
+        return self.kind == "join"
+
 
 @dataclass(frozen=True)
 class FaultTrace:
-    """A time-ordered sequence of crash/repair events over a horizon.
+    """A time-ordered sequence of crash/repair/join events over a horizon.
 
     The trace is purely descriptive (it does not know about schedules); the
-    online runtime interprets it.  Events are sorted by ``(time, processor)``
-    at construction.
+    online runtime interprets it.  Events are sorted by ``(time, processor,
+    kind)`` at construction, where the kind tie-break is the *documented*
+    order ``crash < repair < join`` (``FAULT_EVENT_KINDS``): simultaneous
+    events on one processor crash it first, so a crash+repair pair at the
+    same instant leaves it up.
+
+    *initially_down* lists processors absent when the stream starts (elastic
+    spares that have not joined yet); it seeds :meth:`failed_at` and the
+    runtime's initial dead set.
     """
 
     events: tuple[FaultEvent, ...]
     horizon: float
+    initially_down: frozenset[str] = field(default=frozenset())
 
     def __post_init__(self) -> None:
         check_positive(self.horizon, "horizon")
-        ordered = tuple(sorted(self.events, key=lambda e: (e.time, e.processor, e.kind)))
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.time, e.processor, _KIND_ORDER[e.kind]))
+        )
         object.__setattr__(self, "events", ordered)
+        object.__setattr__(self, "initially_down", frozenset(self.initially_down))
 
     @property
     def num_crashes(self) -> int:
@@ -148,14 +180,15 @@ class FaultTrace:
         return frozenset(e.processor for e in self.events if e.is_crash)
 
     def failed_at(self, time: float) -> frozenset[str]:
-        """Processors down at *time* (crashes and repairs up to and including it)."""
-        down: set[str] = set()
+        """Processors down at *time* (events up to and including it, applied
+        on top of *initially_down*)."""
+        down: set[str] = set(self.initially_down)
         for event in self.events:
             if event.time > time:
                 break
             if event.is_crash:
                 down.add(event.processor)
-            else:
+            else:  # repair or join both restore availability
                 down.discard(event.processor)
         return frozenset(down)
 
@@ -166,16 +199,6 @@ class FaultTrace:
         return len(self.events)
 
 
-def _inter_failure_time(
-    rng: np.random.Generator, distribution: str, mttf: float, shape: float
-) -> float:
-    if distribution == "exponential":
-        return float(rng.exponential(mttf))
-    # Weibull with mean mttf: scale = mttf / Gamma(1 + 1/shape).
-    scale = mttf / math.gamma(1.0 + 1.0 / shape)
-    return float(scale * rng.weibull(shape))
-
-
 def sample_fault_trace(
     platform: Platform,
     horizon: float,
@@ -184,40 +207,68 @@ def sample_fault_trace(
     shape: float = 1.5,
     mttr: float | None = None,
     seed: int | np.random.Generator | None = None,
+    *,
+    groups: Sequence[Sequence[str]] | None = None,
+    load_coupling: float = 0.0,
+    utilization: Mapping[str, float] | None = None,
+    spares: int = 0,
+    join_mean: float | None = None,
+    preempt_mean: float | None = None,
 ) -> FaultTrace:
     """Draw a timed fault trace over ``[0, horizon)`` for every processor.
 
-    Each processor follows an independent renewal process: its first failure
-    arrives after an exponential(*mttf*) or Weibull(*shape*, mean *mttf*) delay.
-    When *mttr* is ``None`` the failure is terminal (fail-stop, as in the
-    paper); otherwise the processor is repaired after an exponential(*mttr*)
-    delay and may fail again, until the horizon is exceeded.
+    The default regime is the paper's: each processor follows an independent
+    renewal process whose first failure arrives after an exponential(*mttf*)
+    or Weibull(*shape*, mean *mttf*) delay.  When *mttr* is ``None`` the
+    failure is terminal (fail-stop); otherwise the processor is repaired
+    after an exponential(*mttr*) delay and may fail again, until the horizon
+    is exceeded.
 
-    Processors are visited in platform declaration order with a single
-    generator, so a given seed always produces the same trace.
+    The keyword-only arguments open three further failure worlds (see
+    :mod:`repro.failures.processes`):
+
+    * *groups* — correlated crash groups: one hazard clock per group, every
+      member crashes (and is repaired) together.  Singleton groups are
+      bit-identical to the independent regime.
+    * *load_coupling* / *utilization* — load-dependent hazards: a group's
+      inter-failure delays are divided by ``1 + load_coupling * mean
+      utilization`` of its members.  ``load_coupling=0`` is bit-identical to
+      the uncoupled regime.
+    * *spares* / *join_mean* / *preempt_mean* — elastic platforms: the last
+      *spares* processors start absent and join after exponential
+      (*join_mean*) delays; *preempt_mean* adds spot-preemption renewals
+      (crash, then rejoin) on the active processors.  Elastic draws happen
+      strictly after the renewal draws, so disabling elasticity leaves the
+      base stream untouched.
+
+    Processors (and groups, at their first member's slot) are visited in
+    platform declaration order with a single generator, so a given seed
+    always produces the same trace.
     """
-    check_positive(horizon, "horizon")
-    check_positive(mttf, "mttf")
-    check_positive(shape, "shape")
-    if mttr is not None:
-        check_positive(mttr, "mttr")
-    if distribution not in FAULT_DISTRIBUTIONS:
-        raise ValueError(
-            f"distribution must be one of {FAULT_DISTRIBUTIONS}, got {distribution!r}"
-        )
     rng = ensure_rng(seed)
-    events: list[FaultEvent] = []
-    for name in platform.processor_names:
-        t = 0.0
-        while True:
-            t += _inter_failure_time(rng, distribution, mttf, shape)
-            if t >= horizon:
-                break
-            events.append(FaultEvent(t, name, "crash"))
-            if mttr is None:
-                break
-            t += float(rng.exponential(mttr))
-            if t >= horizon:
-                break
-            events.append(FaultEvent(t, name, "repair"))
-    return FaultTrace(events=tuple(events), horizon=horizon)
+    elastic = (
+        ElasticFaultProcess(
+            platform, horizon, spares=spares, join_mean=join_mean, preempt_mean=preempt_mean
+        )
+        if spares or preempt_mean is not None
+        else None
+    )
+    renewal = RenewalFaultProcess(
+        platform,
+        horizon,
+        mttf,
+        distribution=distribution,
+        shape=shape,
+        mttr=mttr,
+        groups=groups,
+        load_coupling=load_coupling,
+        utilization=utilization,
+        exclude=elastic.spare_names if elastic is not None else (),
+    )
+    raw = renewal.sample(rng)
+    initially_down: frozenset[str] = frozenset()
+    if elastic is not None:
+        raw += elastic.sample(rng)
+        initially_down = elastic.initially_down
+    events = tuple(FaultEvent(t, p, k) for t, p, k in raw)
+    return FaultTrace(events=events, horizon=horizon, initially_down=initially_down)

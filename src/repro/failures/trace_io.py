@@ -1,0 +1,120 @@
+"""Ingest and emit cluster availability logs as :class:`FaultTrace` objects.
+
+The on-disk format is the common denominator of published availability traces:
+a CSV of ``time,node,state`` rows where *state* is ``down`` (the node crashes)
+or ``up`` (it comes back).  Times are absolute simulation-time units, rows may
+appear in any order, ``#`` comment lines and an optional header row are
+ignored.  :func:`load_fault_trace` validates aggressively — unknown node (when
+a platform is given, with a close-match hint), negative time, a ``down`` for a
+node already down, an ``up`` for a node that is up — and raises
+:class:`~repro.exceptions.FaultTraceError` carrying the file and line number.
+Events at or past the horizon are clipped, matching what
+:func:`~repro.failures.scenarios.sample_fault_trace` samples.
+
+:func:`dump_fault_trace` is the exact inverse: times are written with
+``repr`` so a dump/load round-trip reproduces the trace bit-for-bit (the
+replay-of-a-sampled-trace equivalence oracle in the property suite depends on
+this).  ``join`` events are written as ``up`` and therefore reload as
+``repair`` — both restore availability; only the runtime's rebuild probing
+distinguishes them.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+from repro.exceptions import FaultTraceError
+from repro.failures.scenarios import FaultEvent, FaultTrace
+from repro.platform.platform import Platform
+
+__all__ = ["load_fault_trace", "dump_fault_trace"]
+
+_STATES = {"down": "crash", "up": "repair"}
+
+
+def _fail(path: Path, lineno: int, message: str) -> FaultTraceError:
+    return FaultTraceError(f"{path}:{lineno}: {message}")
+
+
+def load_fault_trace(
+    path: str | Path,
+    platform: Platform | None = None,
+    horizon: float | None = None,
+) -> FaultTrace:
+    """Parse an availability log into a :class:`FaultTrace`.
+
+    Parameters
+    ----------
+    path:
+        CSV file of ``time,node,down|up`` rows (``#`` comments and a
+        ``time,node,state`` header row are skipped).
+    platform:
+        When given, every node must name one of its processors — a typo gets
+        a did-you-mean hint instead of silently simulating a ghost node.
+    horizon:
+        Trace horizon; events at ``time >= horizon`` are clipped.  Defaults
+        to just past the last event (last time + 1, or 1 for an empty log).
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise FaultTraceError(f"cannot read fault trace {path}: {exc}") from exc
+
+    rows: list[tuple[float, str, str, int]] = []
+    for lineno, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        parts = [p.strip() for p in text.split(",")]
+        if len(parts) != 3:
+            raise _fail(path, lineno, f"expected 3 comma-separated fields, got {len(parts)}")
+        raw_time, node, state = parts
+        if not rows and (raw_time.lower(), state.lower()) == ("time", "state"):
+            continue  # header row (first data-bearing line, after any comments)
+        try:
+            time = float(raw_time)
+        except ValueError:
+            raise _fail(path, lineno, f"invalid time {raw_time!r}") from None
+        if time < 0:
+            raise _fail(path, lineno, f"negative time {time!r}")
+        state = state.lower()
+        if state not in _STATES:
+            raise _fail(path, lineno, f"state must be 'down' or 'up', got {state!r}")
+        if platform is not None and node not in platform:
+            hint = difflib.get_close_matches(node, platform.processor_names, n=1)
+            suffix = f" — did you mean {hint[0]!r}?" if hint else ""
+            raise _fail(path, lineno, f"unknown node {node!r}{suffix}")
+        rows.append((time, node, _STATES[state], lineno))
+
+    # Replay in trace order (time, node, crash-before-repair) to catch
+    # out-of-order transitions exactly as FaultTrace will apply them.
+    down: set[str] = set()
+    for time, node, kind, lineno in sorted(rows, key=lambda r: (r[0], r[1], r[2] != "crash")):
+        if kind == "crash":
+            if node in down:
+                raise _fail(path, lineno, f"node {node!r} goes down at {time!r} but is already down")
+            down.add(node)
+        else:
+            if node not in down:
+                raise _fail(path, lineno, f"node {node!r} comes up at {time!r} but is not down")
+            down.discard(node)
+
+    if horizon is None:
+        horizon = (max(r[0] for r in rows) + 1.0) if rows else 1.0
+    events = tuple(
+        FaultEvent(time, node, kind) for time, node, kind, _ in rows if time < horizon
+    )
+    return FaultTrace(events=events, horizon=horizon)
+
+
+def dump_fault_trace(trace: FaultTrace, path: str | Path) -> None:
+    """Write *trace* as a ``time,node,state`` CSV (the :func:`load_fault_trace`
+    format).  Times use ``repr`` so the round-trip is bit-exact."""
+    path = Path(path)
+    lines = ["time,node,state"]
+    for event in trace.events:
+        state = "down" if event.is_crash else "up"
+        lines.append(f"{event.time!r},{event.processor},{state}")
+    path.write_text("\n".join(lines) + "\n")

@@ -32,6 +32,12 @@ class Platform:
         irrelevant (local communications are free) and ignored.
     default_bandwidth:
         Bandwidth used for pairs absent from *bandwidths*.
+    failure_domains:
+        Optional failure-domain topology: a mapping ``{domain_name: [processor
+        names]}`` declaring which processors share a rack / power domain and
+        therefore crash *together* under a correlated fault regime (see
+        :func:`repro.failures.scenarios.sample_fault_trace`).  Domains must be
+        disjoint; processors left out of every domain fail independently.
     """
 
     def __init__(
@@ -39,6 +45,7 @@ class Platform:
         processors: Sequence[Processor],
         bandwidths: float | Mapping[tuple[str, str], float] | None = None,
         default_bandwidth: float = 1.0,
+        failure_domains: Mapping[str, Sequence[str]] | None = None,
     ):
         processors = list(processors)
         if not processors:
@@ -51,6 +58,7 @@ class Platform:
         check_positive(default_bandwidth, "default_bandwidth")
         self._default_bandwidth = float(default_bandwidth)
         self._bandwidths: dict[tuple[str, str], float] = {}
+        self._failure_domains = self._check_domains(failure_domains)
 
         if bandwidths is None:
             pass
@@ -61,7 +69,36 @@ class Platform:
             for (src, dst), bw in bandwidths.items():
                 self.set_bandwidth(src, dst, bw)
 
+    def _check_domains(
+        self, domains: Mapping[str, Sequence[str]] | None
+    ) -> dict[str, tuple[str, ...]]:
+        if not domains:
+            return {}
+        seen: set[str] = set()
+        checked: dict[str, tuple[str, ...]] = {}
+        for domain, members in domains.items():
+            members = tuple(members)
+            if not members:
+                raise PlatformError(f"failure domain {domain!r} is empty")
+            for member in members:
+                if member not in self._processors:
+                    raise PlatformError(
+                        f"failure domain {domain!r} names unknown processor {member!r}"
+                    )
+                if member in seen:
+                    raise PlatformError(
+                        f"processor {member!r} belongs to more than one failure domain"
+                    )
+                seen.add(member)
+            checked[domain] = members
+        return checked
+
     # ---------------------------------------------------------------- accessors
+    @property
+    def failure_domains(self) -> dict[str, tuple[str, ...]]:
+        """Failure-domain topology ``{domain: member names}`` (empty if undeclared)."""
+        return dict(self._failure_domains)
+
     @property
     def num_processors(self) -> int:
         """``m`` — number of processors."""
@@ -184,10 +221,21 @@ class Platform:
 
     # ------------------------------------------------------------------ helpers
     def subset(self, names: Iterable[str]) -> "Platform":
-        """A new platform restricted to *names* (bandwidths are preserved)."""
+        """A new platform restricted to *names* (bandwidths and failure
+        domains are preserved; domains are intersected with *names*)."""
         names = list(names)
         procs = [self.processor(n) for n in names]
-        sub = Platform(procs, default_bandwidth=self._default_bandwidth)
+        kept = set(names)
+        domains = {
+            domain: [m for m in members if m in kept]
+            for domain, members in self._failure_domains.items()
+        }
+        domains = {d: m for d, m in domains.items() if m}
+        sub = Platform(
+            procs,
+            default_bandwidth=self._default_bandwidth,
+            failure_domains=domains or None,
+        )
         for src in names:
             for dst in names:
                 if src != dst and (src, dst) in self._bandwidths:

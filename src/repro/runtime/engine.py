@@ -274,6 +274,7 @@ class OnlineRuntime:
         checkpoint: bool = True,
         probe=None,
         fast_forward: bool = True,
+        platform=None,
     ):
         """*fast_forward* enables the analytic steady-state fast path
         (:mod:`repro.sim.steady`): quiet stretches whose kernel state repeats
@@ -281,16 +282,31 @@ class OnlineRuntime:
         guards itself off automatically whenever the regime is not provably
         stationary — flush mode, bounded queue admission, a probe that does
         not opt in, or a workload whose durations fail the exactness
-        certificate — so the flag is safe to leave on everywhere."""
+        certificate — so the flag is safe to leave on everywhere.
+
+        *platform* widens the rebuild candidate pool beyond
+        ``schedule.platform`` (elastic regimes: spare processors that start
+        outside the schedule and *join* mid-stream).  Pool members absent
+        from the schedule's platform start dead until a join event brings
+        them up.  ``None`` (default) keeps the pool equal to the schedule's
+        platform — bit-identical to the historical behaviour."""
         if not schedule.is_complete():
             raise ScheduleError("cannot run an incomplete schedule online")
         if rebuild_overhead < 0:
             raise ValueError(f"rebuild_overhead must be >= 0, got {rebuild_overhead}")
+        if platform is not None:
+            missing = [n for n in schedule.platform.processor_names if n not in platform]
+            if missing:
+                raise ScheduleError(
+                    f"schedule processors {missing} are not in the runtime "
+                    f"platform pool"
+                )
         if not isinstance(fault_trace, FaultTrace):
             events = tuple(fault_trace)
             horizon = max([e.time for e in events], default=0.0) + schedule.period
             fault_trace = FaultTrace(events=events, horizon=max(horizon, schedule.period))
         self.schedule = schedule
+        self.platform = platform
         self.fault_trace = fault_trace
         self.policy = resolve_policy(policy)
         self.admission = resolve_admission(admission)
@@ -317,7 +333,7 @@ class OnlineRuntime:
     def _run(self, num_datasets: int) -> RuntimeTrace:
         initial = self.schedule
         graph = initial.graph
-        platform0 = initial.platform
+        platform0 = self.platform if self.platform is not None else initial.platform
         period = initial.period
         tol = 1e-9 * period
         horizon = num_datasets * period
@@ -362,7 +378,12 @@ class OnlineRuntime:
         schedule: Schedule | None = initial
         used: frozenset[str] = frozenset(initial.used_processors())
         failed_cur: set[str] = set()  # failures charged against `schedule`
-        dead: set[str] = set()  # globally down processors (repairs remove)
+        # globally down processors (repairs/joins remove): pool members not
+        # yet in the schedule's platform (elastic spares) start dead, as do
+        # the trace's initially_down processors.
+        dead: set[str] = {
+            n for n in platform0.processor_names if n not in initial.platform
+        } | set(self.fault_trace.initially_down)
         seg_start = 0.0
         next_j = 0  # next dataset index to place
         next_slot = 0.0  # earliest admission instant (one per effective period)
@@ -638,6 +659,25 @@ class OnlineRuntime:
                 else:
                     start_rebuild(now, "crash-rebuild", event.processor)
                     seg_start = now
+            elif event.is_join:
+                # A join adds capacity (an elastic spare, or a preempted spot
+                # node returning): unlike a repair it always probes whether a
+                # rebuild onto the enlarged platform pays for its downtime —
+                # even when the current schedule is not degraded.
+                dead.discard(event.processor)
+                note(RuntimeEvent(now, "join", event.processor))
+                if not rebuilding and not aborted:
+                    improves, why = self._repair_improves(
+                        schedule, failed_cur, admit_period, dead, graph, platform0,
+                        period, initial, require_degraded=False,
+                    )
+                    if improves:
+                        start_rebuild(now, "join-rebuild", event.processor)
+                        seg_start = now
+                    else:
+                        note(
+                            RuntimeEvent(now, "join-rebuild-skipped", event.processor, why)
+                        )
             else:  # repair
                 dead.discard(event.processor)
                 note(RuntimeEvent(now, "repair", event.processor))
@@ -693,7 +733,8 @@ class OnlineRuntime:
 
     # ------------------------------------------------------------- repair probe
     def _repair_improves(
-        self, schedule, failed_cur, admit_period, dead, graph, platform0, period, initial
+        self, schedule, failed_cur, admit_period, dead, graph, platform0, period, initial,
+        require_degraded: bool = True,
     ) -> tuple[bool, str]:
         """Anticipatory ``rebuild_on_repair`` probe: is a rebuild worth downtime?
 
@@ -701,13 +742,17 @@ class OnlineRuntime:
         the repaired platform and commits to a real rebuild only when the
         candidate improves the achievable admission period or the resilience
         margin left by the crashes charged against the current schedule.
+
+        With ``require_degraded=False`` (join events) the speculative
+        reschedule runs even when the current schedule is healthy — added
+        capacity can still shorten the achievable period.
         """
         degraded = (
             bool(failed_cur)
             or admit_period > period * (1 + 1e-6)
             or schedule.epsilon < initial.epsilon
         )
-        if not degraded:
+        if require_degraded and not degraded:
             return False, "current schedule already meets the original period and resilience"
         survivors = [p for p in platform0.processor_names if p not in dead]
         target_eps = min(initial.epsilon, len(survivors) - 1)
@@ -736,6 +781,7 @@ def run_online(
     checkpoint: bool = True,
     probe=None,
     fast_forward: bool = True,
+    platform=None,
 ) -> RuntimeTrace:
     """Convenience wrapper: run *schedule* online through *fault_trace*."""
     runtime = OnlineRuntime(
@@ -747,5 +793,6 @@ def run_online(
         checkpoint=checkpoint,
         probe=probe,
         fast_forward=fast_forward,
+        platform=platform,
     )
     return runtime.run(num_datasets)

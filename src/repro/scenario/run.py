@@ -32,6 +32,7 @@ from repro.utils.rng import derive_seed, ensure_rng
 __all__ = [
     "resolve_seeds",
     "build_workload",
+    "active_workload",
     "resolve_period",
     "build_schedule",
     "build_fault_trace",
@@ -44,12 +45,20 @@ __all__ = [
 def validate_spec_options(spec: ScenarioSpec) -> None:
     """Pre-flight the parts of *spec* only execution would otherwise check.
 
-    Today that is the ``scheduler.options`` ↔ builder-signature match; the
-    service calls this at submit time so a bad key is an immediate HTTP 422,
-    not a failed job minutes later.
+    Today that is the ``scheduler.options`` ↔ builder-signature match plus the
+    ``faults.trace_file`` existence check; the service calls this at submit
+    time so a bad key or a missing trace is an immediate HTTP 422, not a
+    failed job minutes later.
     """
     entry = SCHEDULERS.lookup(spec.scheduler.name)
     _check_scheduler_options(spec.scheduler.name, entry.build, dict(spec.scheduler.options))
+    if spec.faults.trace_file is not None:
+        from pathlib import Path
+
+        if not Path(spec.faults.trace_file).is_file():
+            raise SpecificationError(
+                f"faults.trace_file: no such file {spec.faults.trace_file!r}"
+            )
 
 
 def resolve_seeds(spec: ScenarioSpec, seed: int) -> tuple[int, int]:
@@ -191,17 +200,74 @@ def build_schedule(
     )
 
 
+def active_workload(workload: PaperWorkload, faults: FaultSpec) -> PaperWorkload:
+    """The workload restricted to the initially-active platform.
+
+    On an elastic regime the last ``faults.spares`` processors (declaration
+    order) start outside the platform, so the *initial* schedule is built on
+    the remaining subset — the period is still resolved on the full platform,
+    which the joins can later restore.  With ``spares=0`` the workload is
+    returned unchanged (same object), keeping the non-elastic path
+    bit-identical.
+    """
+    if not faults.spares:
+        return workload
+    from dataclasses import replace
+
+    names = workload.platform.processor_names
+    active = names[: len(names) - faults.spares]
+    return replace(workload, platform=workload.platform.subset(active))
+
+
+def _crash_groups(platform, faults: FaultSpec):
+    """The correlated crash groups of the scenario, or ``None`` (independent).
+
+    ``faults.group_size`` chunks processors in declaration order; without it
+    the platform's own ``failure_domains`` topology applies when declared.
+    """
+    if faults.group_size is not None:
+        if faults.group_size <= 1:
+            return None
+        names = platform.processor_names
+        return [
+            names[i : i + faults.group_size]
+            for i in range(0, len(names), faults.group_size)
+        ]
+    domains = platform.failure_domains
+    return list(domains.values()) if domains else None
+
+
 def build_fault_trace(
     workload: PaperWorkload,
     faults: FaultSpec,
     schedule_period: float,
     num_datasets: int,
     seed,
+    schedule: Schedule | None = None,
 ) -> FaultTrace:
-    """Sample the timed fault trace of the scenario over the stream horizon."""
+    """The timed fault trace of the scenario over the stream horizon.
+
+    Sampled from the spec's stochastic regime, or — with ``faults.trace_file``
+    — replayed from a recorded availability log (times in the CSV are
+    absolute simulation units, validated against the workload platform and
+    clipped to the horizon).  *schedule* supplies the utilization view for
+    load-dependent hazards: intensities follow the *initial* schedule's
+    per-processor utilization.
+    """
+    platform = workload.platform
+    horizon = num_datasets * schedule_period
+    if faults.trace_file is not None:
+        from repro.failures.trace_io import load_fault_trace
+
+        return load_fault_trace(faults.trace_file, platform=platform, horizon=horizon)
+    utilization = None
+    if faults.load_coupling and schedule is not None:
+        from repro.schedule.metrics import processor_utilization
+
+        utilization = processor_utilization(schedule)
     return sample_fault_trace(
-        workload.platform,
-        horizon=num_datasets * schedule_period,
+        platform,
+        horizon=horizon,
         mttf=faults.mttf_periods * schedule_period,
         distribution=faults.distribution,
         shape=faults.weibull_shape,
@@ -209,6 +275,16 @@ def build_fault_trace(
         if faults.mttr_periods is None
         else faults.mttr_periods * schedule_period,
         seed=seed,
+        groups=_crash_groups(platform, faults),
+        load_coupling=faults.load_coupling,
+        utilization=utilization,
+        spares=faults.spares,
+        join_mean=None
+        if faults.join_periods is None
+        else faults.join_periods * schedule_period,
+        preempt_mean=None
+        if faults.preempt_periods is None
+        else faults.preempt_periods * schedule_period,
     )
 
 
@@ -225,9 +301,19 @@ def execute_online(
     ``(workload, schedule)`` pair (the Session facade builds one per seed)
     don't pay the workload generation and scheduling ladder again.  *probe*
     is an optional :class:`repro.obs.probe.Probe` observing the run.
+
+    *workload* carries the **full** platform even on elastic regimes (the
+    schedule is what lives on the active subset): the fault trace samples
+    joins for the spares, and the runtime receives the full platform as its
+    rebuild candidate pool.
     """
     fault_trace = build_fault_trace(
-        workload, spec.faults, schedule.period, spec.runtime.num_datasets, fault_seed
+        workload,
+        spec.faults,
+        schedule.period,
+        spec.runtime.num_datasets,
+        fault_seed,
+        schedule=schedule,
     )
     admission = spec.runtime.admission
     if admission == "queue":
@@ -242,6 +328,7 @@ def execute_online(
         checkpoint=spec.runtime.checkpoint,
         fast_forward=spec.runtime.fast_forward,
         probe=probe,
+        platform=workload.platform if spec.faults.is_elastic else None,
     )
     return runtime.run(spec.runtime.num_datasets)
 
@@ -258,7 +345,7 @@ def run_scenario_online(spec: ScenarioSpec, seed: int = 0, probe=None) -> Runtim
     workload = build_workload(spec.workload, workload_seed)
     period = resolve_period(workload, spec.scheduler)
     try:
-        schedule = build_schedule(workload, spec.scheduler, period)
+        schedule = build_schedule(active_workload(workload, spec.faults), spec.scheduler, period)
     except SchedulingError as exc:
         raise SchedulingError(
             f"no schedule found for scenario {spec.name!r} seed {seed}: {exc}"

@@ -212,6 +212,25 @@ class FaultSpec:
     on average after 60 stream iterations.  ``mttr_periods=None`` means
     fail-stop (no repair, as in the paper).  ``seed`` pins the fault-trace
     RNG; when ``None`` the run seed derives it.
+
+    The remaining fields open the richer failure worlds of
+    :mod:`repro.failures.processes`:
+
+    * ``group_size`` — correlated crash groups: processors are chunked into
+      groups of this size (declaration order) and each group fails as one
+      unit.  ``None`` (default) means independent failures, or the platform's
+      own ``failure_domains`` topology when it declares one.
+    * ``load_coupling`` — load-dependent hazards: failure intensity is
+      multiplied by ``1 + load_coupling × utilization`` of the (group's mean)
+      utilization in the initial schedule.  ``0`` (default) disables it.
+    * ``trace_file`` — trace-driven replay: path to a ``time,node,down|up``
+      CSV (see :mod:`repro.failures.trace_io`) replayed instead of sampling;
+      mutually exclusive with every other stochastic knob above.
+    * ``spares`` / ``join_periods`` / ``preempt_periods`` — elastic
+      platforms: the last ``spares`` processors start outside the platform
+      and join after exponential(``join_periods``·Δ) delays;
+      ``preempt_periods`` adds spot-preemption (crash then rejoin) renewals
+      on the active processors.
     """
 
     mttf_periods: float = 500.0
@@ -219,6 +238,12 @@ class FaultSpec:
     distribution: str = "exponential"
     weibull_shape: float = 1.5
     seed: int | None = None
+    group_size: int | None = None
+    load_coupling: float = 0.0
+    trace_file: str | None = None
+    spares: int = 0
+    join_periods: float | None = None
+    preempt_periods: float | None = None
 
     def __post_init__(self) -> None:
         _require(
@@ -247,6 +272,66 @@ class FaultSpec:
                 isinstance(self.seed, int) and self.seed >= 0,
                 f"faults.seed must be a non-negative int or null, got {self.seed!r}",
             )
+        if self.group_size is not None:
+            _require(
+                isinstance(self.group_size, int) and self.group_size >= 1,
+                f"faults.group_size must be an int >= 1 or null, got {self.group_size!r}",
+            )
+        _require(
+            isinstance(self.load_coupling, (int, float)) and self.load_coupling >= 0,
+            f"faults.load_coupling must be >= 0, got {self.load_coupling!r}",
+        )
+        _set(self, "load_coupling", float(self.load_coupling))
+        _require(
+            isinstance(self.spares, int) and not isinstance(self.spares, bool)
+            and self.spares >= 0,
+            f"faults.spares must be an int >= 0, got {self.spares!r}",
+        )
+        if self.join_periods is not None:
+            _require(
+                isinstance(self.join_periods, (int, float)) and self.join_periods > 0,
+                f"faults.join_periods must be > 0 or null, got {self.join_periods!r}",
+            )
+            _set(self, "join_periods", float(self.join_periods))
+        if self.preempt_periods is not None:
+            _require(
+                isinstance(self.preempt_periods, (int, float)) and self.preempt_periods > 0,
+                f"faults.preempt_periods must be > 0 or null, got {self.preempt_periods!r}",
+            )
+            _set(self, "preempt_periods", float(self.preempt_periods))
+        _require(
+            not ((self.spares or self.preempt_periods is not None)
+                 and self.join_periods is None),
+            "faults.join_periods is required when faults.spares > 0 or "
+            "faults.preempt_periods is set",
+        )
+        if self.trace_file is not None:
+            _require(
+                isinstance(self.trace_file, str) and bool(self.trace_file),
+                f"faults.trace_file must be a non-empty string or null, "
+                f"got {self.trace_file!r}",
+            )
+            stochastic = [
+                name
+                for name, value in (
+                    ("group_size", self.group_size),
+                    ("load_coupling", self.load_coupling or None),
+                    ("spares", self.spares or None),
+                    ("join_periods", self.join_periods),
+                    ("preempt_periods", self.preempt_periods),
+                )
+                if value is not None
+            ]
+            _require(
+                not stochastic,
+                f"faults.trace_file replays a recorded trace and cannot be "
+                f"combined with faults.{stochastic[0] if stochastic else ''}",
+            )
+
+    @property
+    def is_elastic(self) -> bool:
+        """True when the regime adds capacity at runtime (spares/preemption)."""
+        return bool(self.spares) or self.preempt_periods is not None
 
 
 @dataclass(frozen=True)
@@ -338,6 +423,18 @@ class ScenarioSpec:
             self.scheduler.epsilon < self.workload.num_processors,
             f"scheduler.epsilon={self.scheduler.epsilon} needs "
             f"epsilon < workload.num_processors={self.workload.num_processors}",
+        )
+        _require(
+            self.faults.spares < self.workload.num_processors,
+            f"faults.spares={self.faults.spares} must leave at least one "
+            f"active processor (workload.num_processors="
+            f"{self.workload.num_processors})",
+        )
+        _require(
+            self.scheduler.epsilon < self.workload.num_processors - self.faults.spares,
+            f"scheduler.epsilon={self.scheduler.epsilon} needs epsilon < "
+            f"active processors (num_processors={self.workload.num_processors} "
+            f"minus faults.spares={self.faults.spares})",
         )
 
     # ------------------------------------------------------------- composition

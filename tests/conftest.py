@@ -1,8 +1,23 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures for the test-suite, plus the hypothesis CI profile."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+try:  # hypothesis is a test-only dependency; unit tests run without it
+    from hypothesis import settings
+
+    # CI runs derandomized (reproducible failures, no flaky shrinks) with a
+    # deeper example budget than the fast local default.  Activate with
+    # HYPOTHESIS_PROFILE=ci; per-test @settings(...) decorators still apply
+    # their own max_examples on top.
+    settings.register_profile("ci", derandomize=True, max_examples=200, deadline=None)
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover
+    pass
 
 from repro.graph.dag import TaskGraph
 from repro.graph.examples import figure1_graph, figure2_graph

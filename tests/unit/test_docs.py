@@ -147,9 +147,37 @@ def test_service_doc_covers_every_route_and_serve_flag():
     assert "service.md" in (REPO / "docs" / "architecture.md").read_text()
 
 
+def test_scenarios_doc_covers_the_failure_worlds():
+    """docs/scenarios.md must document the failure-world vocabulary: a
+    dedicated section, the trace-replay CSV walkthrough with its shipped
+    example files, and every failure-world CLI flag."""
+    text = (REPO / "docs" / "scenarios.md").read_text()
+    assert "### Failure worlds" in text
+    for example in ("examples/cluster_trace.csv", "examples/trace_replay.json"):
+        assert example in text, f"scenarios.md misses the shipped example {example}"
+    for term in ("down", "up", "did-you-mean", "bit for bit"):
+        assert term in text, f"scenarios.md walkthrough misses {term!r}"
+    for flag in ("--fault-trace", "--group-size", "--load-coupling", "--spares",
+                 "--join-periods", "--preempt-periods",
+                 "--sweep-group-sizes", "--sweep-load"):
+        assert flag in text, f"scenarios.md misses CLI flag {flag}"
+
+
 def test_example_scenario_parses():
     spec = ScenarioSpec.from_file(REPO / "examples" / "scenario.json")
     assert spec.name
+
+
+def test_example_trace_replay_parses_and_replays():
+    spec = ScenarioSpec.from_file(REPO / "examples" / "trace_replay.json")
+    assert spec.faults.trace_file == "examples/cluster_trace.csv"
+    from repro.failures.trace_io import load_fault_trace
+
+    trace = load_fault_trace(REPO / "examples" / "cluster_trace.csv")
+    assert trace.num_crashes >= 4  # the walkthrough narrates real events
+    # the recorded rack-A power dip is a correlated crash: two nodes, one time
+    times = [e.time for e in trace.events if e.is_crash]
+    assert len(times) != len(set(times))
 
 
 def test_example_suite_parses_and_expands():
