@@ -356,6 +356,12 @@ class Session:
         jobs: int | None = 1,
         cache=None,
         reduce: str = "traces",
+        *,
+        max_retries: int = 2,
+        trial_timeout: float | None = None,
+        resume: bool = False,
+        chaos=None,
+        stop=None,
     ) -> MonteCarloResult:
         """A Monte-Carlo campaign of online runs, ``jobs`` trials at a time.
 
@@ -369,6 +375,14 @@ class Session:
         floats per trial cross the process boundary — identical
         :attr:`~MonteCarloResult.stats`, but :attr:`~MonteCarloResult.traces`
         is then unavailable.
+
+        The resilience keywords pass straight through to
+        :func:`~repro.experiments.parallel.run_runtime_campaign`:
+        *max_retries* / *trial_timeout* bound the supervised pool's recovery
+        from dead or stuck workers, *resume* checkpoints each trial to the
+        cache as it completes (an interrupted campaign re-executes only the
+        missing trials), and *chaos* injects seeded toolchain faults for
+        testing (see :mod:`repro.resilience`).
 
         >>> session = Session.from_dict({
         ...     "workload": {"num_tasks": 12, "num_processors": 6},
@@ -388,7 +402,8 @@ class Session:
 
         campaign = run_runtime_campaign(
             self._spec, trials=trials, seed=seed, jobs=jobs, cache=cache,
-            reduce=reduce,
+            reduce=reduce, max_retries=max_retries, trial_timeout=trial_timeout,
+            resume=resume, chaos=chaos, stop=stop,
         )
         return MonteCarloResult(spec=self._spec, seed=seed, campaign=campaign)
 
@@ -401,6 +416,11 @@ class Session:
         cache=None,
         name: str | None = None,
         reduce: str = "traces",
+        max_retries: int = 2,
+        trial_timeout: float | None = None,
+        resume: bool = False,
+        chaos=None,
+        stop=None,
         **kw_axes,
     ) -> "SweepResult":  # noqa: F821 - imported lazily
         """A grid of Monte-Carlo campaigns over arbitrary spec axes.
@@ -421,7 +441,12 @@ class Session:
         *jobs* at a time.  *reduce* selects the worker payload: ``"stats"``
         summarizes every trace inside the worker, so wide sweeps that only
         read per-point statistics (panels, rows) transfer and cache a few
-        floats per trial instead of full trace pickles.  Returns a
+        floats per trial instead of full trace pickles.  The resilience
+        keywords (*max_retries*, *trial_timeout*, *resume*, *chaos*, *stop*)
+        pass straight through to
+        :func:`~repro.experiments.sweep.run_suite`: supervised recovery from
+        dead/stuck workers, trial-level checkpoint/resume, and seeded chaos
+        injection.  Returns a
         :class:`~repro.experiments.sweep.SweepResult`
         whose :meth:`~repro.experiments.sweep.SweepResult.panel` pivots any
         ``(x_axis, metric, y_axis)`` choice into a figure-ready series.
@@ -470,5 +495,7 @@ class Session:
             )
             trials = seed = None  # the suite now carries the resolved values
         return run_suite(
-            suite, seed=seed, trials=trials, jobs=jobs, cache=cache, reduce=reduce
+            suite, seed=seed, trials=trials, jobs=jobs, cache=cache, reduce=reduce,
+            max_retries=max_retries, trial_timeout=trial_timeout, resume=resume,
+            chaos=chaos, stop=stop,
         )

@@ -11,15 +11,17 @@ address and forces a re-run.
 * :mod:`repro.cache.keys` — canonical JSON serialization and the
   ``sha256(spec.to_dict(), seed, code_version)`` key derivation;
 * :mod:`repro.cache.disk` — the on-disk backend (checksummed, atomically
-  written entries; corrupted entries are discarded, never trusted) plus the
+  written entries; corrupted entries are quarantined, never trusted) plus the
   in-memory :class:`NullCache` used by ``--no-cache``, and the hit/miss
   counters surfaced in sweep reports.
 
 The cache layer deliberately knows nothing about scenarios or campaigns —
-callers derive keys with :func:`result_key` / :func:`campaign_key` and store
-whatever picklable result object they like.  The suite runner
-(:func:`repro.experiments.sweep.run_suite`) is the primary customer: re-running
-a suite after editing one axis only re-executes the changed points.
+callers derive keys with :func:`result_key` / :func:`campaign_key` /
+:func:`trial_key` and store whatever picklable result object they like.  The
+suite runner (:func:`repro.experiments.sweep.run_suite`) is the primary
+customer: re-running a suite after editing one axis only re-executes the
+changed points, and with ``resume=True`` an interrupted suite re-executes
+only the missing *trials* of each point.
 
 >>> from repro.cache import NullCache, MISS
 >>> cache = NullCache()
@@ -44,6 +46,7 @@ from repro.cache.keys import (
     canonical_json,
     result_key,
     source_digest,
+    trial_key,
 )
 
 __all__ = [
@@ -61,4 +64,5 @@ __all__ = [
     "canonical_json",
     "result_key",
     "source_digest",
+    "trial_key",
 ]

@@ -8,10 +8,12 @@ One cache entry is one file under the cache root, named by its content key
 The payload is a pickled ``(key, value)`` pair wrapped in a checksummed
 envelope — a magic line identifying the format plus the SHA-256 of the pickle
 bytes.  A corrupted entry (truncated file, bit rot, a partial write from a
-crashed process, an unpicklable blob, or a key mismatch) is **discarded, never
-trusted**: the file is deleted, the error is counted, and the lookup reports a
-miss so the caller recomputes.  Writes are atomic (temp file + ``os.replace``)
-so concurrent readers never observe a half-written entry.
+crashed process, an unpicklable blob, or a key mismatch) is **quarantined,
+never trusted**: the file is moved out of the addressed tree into
+``<root>/quarantine/`` for post-mortem diagnosis, the error is counted, and
+the lookup reports a miss so the caller recomputes.  Writes are atomic (temp
+file + ``os.replace``) so concurrent readers never observe a half-written
+entry.
 
 Hit/miss/error counters accumulate on :attr:`DiskCache.stats` and are surfaced
 by the sweep reports; :class:`NullCache` implements the same interface for
@@ -97,6 +99,9 @@ class CacheStats:
     misses: int = 0
     errors: int = 0
     writes: int = 0
+    #: subset of ``errors``: entries that failed validation and were moved to
+    #: the quarantine directory (vs. failed writes, which leave no file).
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -113,10 +118,13 @@ class CacheStats:
 
     def describe(self) -> str:
         """One-line summary used by the sweep reports."""
-        return (
+        text = (
             f"{self.hits} hits, {self.misses} misses, {self.errors} errors "
             f"({self.hit_rate:.0%} hit rate)"
         )
+        if self.quarantined:
+            text += f", {self.quarantined} quarantined"
+        return text
 
 
 @dataclass(frozen=True)
@@ -175,6 +183,17 @@ class DiskCache:
         """The entry file of *key* (whether or not it exists)."""
         return self.root / key[:2] / f"{key}.pkl"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where failed-validation entries are preserved for diagnosis.
+
+        The directory name is longer than the two-hex shard names, so
+        :meth:`entries` (and therefore ``usage``/``gc``) never walks into it
+        — quarantined bytes are outside the addressed tree and only
+        maintenance commands look at them.
+        """
+        return self.root / "quarantine"
+
     # ------------------------------------------------------------------ lookup
     def get(self, key: str, expect: type | None = None):
         """The cached value of *key*, or :data:`MISS`.
@@ -228,11 +247,25 @@ class DiskCache:
         return value
 
     def _discard(self, path: Path):
-        """Drop an untrustworthy entry and report the lookup as a miss."""
+        """Quarantine an untrustworthy entry and report the lookup as a miss.
+
+        The entry leaves the addressed tree (its slot is immediately
+        reusable) but the bytes survive under ``quarantine/`` so a corrupted
+        result can be diagnosed — was it a truncated write, bit rot, or a
+        worker returning garbage? — instead of vanishing.  Quarantine is a
+        best effort: if the move itself fails the entry is deleted, matching
+        the old behaviour.
+        """
         try:
-            path.unlink()
-        except OSError:  # pragma: no cover - racing unlink / perms
-            pass
+            quarantine = self.quarantine_dir
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+            self.stats.quarantined += 1
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink / perms
+                pass
         self.stats.errors += 1
         self.stats.misses += 1
         return MISS
@@ -304,6 +337,18 @@ class DiskCache:
         return CacheUsage(
             entries=count, total_bytes=total, oldest_used=oldest, newest_used=newest
         )
+
+    def quarantine_usage(self) -> tuple[int, int]:
+        """``(entries, total_bytes)`` sitting in quarantine (``cache ls`` row)."""
+        count = total = 0
+        if self.quarantine_dir.is_dir():
+            for path in self.quarantine_dir.glob("*.pkl"):
+                try:
+                    total += path.stat().st_size
+                except OSError:  # pragma: no cover - racing unlink
+                    continue
+                count += 1
+        return count, total
 
     def gc(self, max_bytes: int) -> list[CacheEntry]:
         """Evict least-recently-used entries until the cache fits *max_bytes*.

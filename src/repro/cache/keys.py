@@ -29,6 +29,7 @@ __all__ = [
     "canonical_json",
     "result_key",
     "campaign_key",
+    "trial_key",
 ]
 
 #: version of the cache *envelope and key layout*; bumping it invalidates
@@ -153,4 +154,25 @@ def campaign_key(spec, seed: int, trials: int, reduce: str = "traces") -> str:
     """
     return result_key(
         "runtime-campaign", spec, seed, trials=int(trials), reduce=str(reduce)
+    )
+
+
+def trial_key(spec, seed: int, trial: int, reduce: str = "traces") -> str:
+    """The address of a *single trial* of a campaign: the checkpoint unit.
+
+    Derived like :func:`campaign_key` but per trial index — and deliberately
+    **without** the campaign's total trial count, because trial ``k``'s seed
+    is drawn by index from the campaign RNG stream
+    (:func:`~repro.experiments.parallel.campaign_trial_seeds`) and therefore
+    does not depend on how many trials follow it.  Growing a campaign from
+    ``trials=1000`` to ``2000`` re-uses the first 1000 checkpoints, which is
+    the trial-level granularity the ROADMAP's distributed-suites item names.
+
+    *seed* is the campaign seed (the grid point's seed in a suite), not the
+    trial's own derived seed: the trial seed is already a pure function of
+    ``(seed, trial)``, so keying on the pair is equivalent and keeps the key
+    derivable before any RNG work happens.
+    """
+    return result_key(
+        "runtime-trial", spec, seed, trial=int(trial), reduce=str(reduce)
     )

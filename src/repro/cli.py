@@ -227,6 +227,15 @@ def _add_spec_options(p: argparse.ArgumentParser, suppress: bool = False) -> Non
         "--weibull-shape", type=float, default=default(1.5), help="Weibull shape parameter"
     )
     p.add_argument(
+        "--repair-shape",
+        type=float,
+        default=default(None),
+        help=(
+            "Weibull shape for repair delays (mean stays --mttr); "
+            "default: exponential repairs"
+        ),
+    )
+    p.add_argument(
         "--fault-trace",
         default=default(None),
         metavar="CSV",
@@ -345,6 +354,7 @@ _FLAG_PATHS: dict[str, tuple[str, Callable]] = {
     "mttr": ("faults.mttr_periods", lambda v: v),
     "distribution": ("faults.distribution", lambda v: v),
     "weibull_shape": ("faults.weibull_shape", lambda v: v),
+    "repair_shape": ("faults.repair_shape", lambda v: v),
     "fault_trace": ("faults.trace_file", lambda v: v),
     "group_size": ("faults.group_size", lambda v: v),
     "load_coupling": ("faults.load_coupling", lambda v: v),
@@ -416,6 +426,7 @@ def _add_runtime_parser(sub) -> None:
         "--no-plot", action="store_true", help="print only the tables, no ASCII plots"
     )
     _add_reduce_option(p)
+    _add_resilience_options(p)
     _add_cache_options(p)
     _add_obs_options(p)
 
@@ -516,6 +527,49 @@ def _add_reduce_option(p: argparse.ArgumentParser) -> None:
             "worker payload: 'traces' ships every trial's full trace back to "
             "the parent, 'stats' summarizes inside the worker (identical "
             "statistics, a tiny fraction of the inter-process transfer)"
+        ),
+    )
+
+
+def _add_resilience_options(p: argparse.ArgumentParser) -> None:
+    """The supervised-execution flags shared by ``suite`` and ``runtime``."""
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help=(
+            "retries per trial after a worker crash or timeout before the "
+            "point is reported failed (default: 2)"
+        ),
+    )
+    p.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per trial; a stuck worker past it is killed "
+            "and the trial retried (needs --jobs >= 2; default: no timeout)"
+        ),
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "checkpoint every completed trial in the result cache and, on "
+            "re-run, execute only the missing ones (needs a cache; the "
+            "resumed result is bit-identical to an uninterrupted run)"
+        ),
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject deterministic faults into the toolchain itself, e.g. "
+            "'crash=0.2,stall=0.1,corrupt=0.1,seed=7' (rates per trial "
+            "attempt; $REPRO_CHAOS sets a default) — results still match a "
+            "clean run bit for bit once retries recover"
         ),
     )
 
@@ -639,6 +693,7 @@ def _add_suite_exec_options(p: argparse.ArgumentParser) -> None:
         "--no-plot", action="store_true", help="print only the tables, no ASCII plots"
     )
     _add_reduce_option(p)
+    _add_resilience_options(p)
     _add_cache_options(p, cache_by_default=True)
 
 
@@ -679,14 +734,22 @@ def _run_suite_command(args: argparse.Namespace) -> int:
         )
         return 2
     try:
-        result = run_suite(
-            suite,
-            seed=args.seed,
-            trials=args.trials,
-            jobs=args.jobs,
-            cache=_open_cli_cache(args),
-            reduce=args.reduce,
-        )
+        from repro.resilience import drain_signals
+
+        with drain_signals() as stop:
+            result = run_suite(
+                suite,
+                seed=args.seed,
+                trials=args.trials,
+                jobs=args.jobs,
+                cache=_open_cli_cache(args),
+                reduce=args.reduce,
+                max_retries=args.max_retries,
+                trial_timeout=args.trial_timeout,
+                resume=args.resume,
+                chaos=args.chaos,
+                stop=stop,
+            )
         if args.suite_command == "report" and args.json:
             return _print_suite_json(result, args)
         render = (
@@ -701,6 +764,14 @@ def _run_suite_command(args: argparse.Namespace) -> int:
         print(f"repro-streaming suite: error: {exc}", file=sys.stderr)
         return 2
     print(report)
+    if result.interrupted:
+        print(
+            "repro-streaming suite: interrupted — re-run with --resume to "
+            "execute only the missing trials (completed trials are "
+            "checkpointed when --resume and the cache are on)",
+            file=sys.stderr,
+        )
+        return 130
     if args.suite_command == "report":
         return _report_trajectory(args)
     return 0
@@ -930,13 +1001,28 @@ def _run_serve_command(args: argparse.Namespace) -> int:
         f"— Ctrl-C stops",
         flush=True,
     )
+    # SIGTERM (the supervisor/container stop signal) drains exactly like
+    # Ctrl-C: in-flight suite jobs return at their next trial boundary with
+    # every completed trial checkpointed, so a resubmit resumes.
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    graceful = False
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("repro-streaming serve: shutting down", file=sys.stderr)
+        print("repro-streaming serve: draining and shutting down", file=sys.stderr)
+        graceful = True
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.server_close()
-        pool.shutdown(wait=False)
+        if graceful:
+            store.drain()
+        else:
+            pool.shutdown(wait=False)
     return 0
 
 
@@ -960,6 +1046,12 @@ def _run_cache_command(args: argparse.Namespace) -> int:
     print(f"result cache: {root}")
     if not usage.entries:
         print("(empty)")
+        q_entries, q_bytes = cache.quarantine_usage()
+        if q_entries:
+            print(
+                f"quarantine: {q_entries} corrupted entr"
+                f"{'y' if q_entries == 1 else 'ies'} ({_format_size(q_bytes)})"
+            )
         return 0
     now = time.time()
     entries = sorted(cache.entries(), key=lambda e: (-e.used, e.key))
@@ -967,6 +1059,11 @@ def _run_cache_command(args: argparse.Namespace) -> int:
         [e.key[:16], _format_size(e.size), _format_age(now - e.used)]
         for e in entries
     ]
+    q_entries, q_bytes = cache.quarantine_usage()
+    if q_entries:
+        rows.append(
+            [f"quarantine ({q_entries} corrupted)", _format_size(q_bytes), ""]
+        )
     rows.append(
         [f"total ({usage.entries} entries)", _format_size(usage.total_bytes), ""]
     )
@@ -1064,6 +1161,7 @@ def _scenario_from_flags(args: argparse.Namespace, name: str = "cli"):
     # The failure-world flags postdate the legacy trial-spec bridge: they are
     # applied as overrides so the default spec stays byte-identical.
     world = {
+        "faults.repair_shape": args.repair_shape,
         "faults.trace_file": args.fault_trace,
         "faults.group_size": args.group_size,
         "faults.load_coupling": args.load_coupling or None,
@@ -1080,6 +1178,8 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
     from repro.exceptions import SchedulingError
     from repro.experiments.reporting import render_sweep
     from repro.experiments.sweep import run_runtime_sweep
+    from repro.resilience import ExecutionError
+    from repro.resilience.supervisor import ExecutionInterrupted
     from repro.utils.ascii import format_table
 
     if args.sweep and (args.metrics or args.gantt):
@@ -1116,14 +1216,22 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
             )
             print(render_sweep(sweep, plot=not args.no_plot))
             return 0
+        from repro.resilience import drain_signals
+
         session = Session(spec)
-        result = session.monte_carlo(
-            trials=args.trials,
-            seed=args.seed,
-            jobs=args.jobs,
-            cache=_open_cli_cache(args),
-            reduce=args.reduce,
-        )
+        with drain_signals() as stop:
+            result = session.monte_carlo(
+                trials=args.trials,
+                seed=args.seed,
+                jobs=args.jobs,
+                cache=_open_cli_cache(args),
+                reduce=args.reduce,
+                max_retries=args.max_retries,
+                trial_timeout=args.trial_timeout,
+                resume=args.resume,
+                chaos=args.chaos,
+                stop=stop,
+            )
         probe = online = None
         if args.metrics or args.gantt:
             # one instrumented run of the campaign's seed: the exported
@@ -1132,6 +1240,16 @@ def _run_runtime_command(args: argparse.Namespace) -> int:
 
             probe = MetricsProbe()
             online = session.run_online(args.seed, probe=probe)
+    except ExecutionInterrupted:
+        print(
+            "repro-streaming runtime: interrupted — re-run with --resume and "
+            "a --cache-dir to execute only the missing trials",
+            file=sys.stderr,
+        )
+        return 130
+    except ExecutionError as exc:
+        print(f"repro-streaming runtime: error: {exc}", file=sys.stderr)
+        return 1
     except (ValueError, SchedulingError) as exc:
         print(f"repro-streaming runtime: error: {exc}", file=sys.stderr)
         return 2

@@ -299,21 +299,39 @@ def run_point(
 
     With ``jobs > 1`` the graph instances of the point are sharded across
     worker processes; every instance carries its own pre-derived seed, so the
-    result is bit-for-bit identical for any ``jobs`` value.  *chunksize*
-    tunes how many instances travel per pickle round-trip (default: ≈ four
-    chunks per worker, see :func:`~repro.experiments.parallel.parallel_map`)
-    — transport only, never results.
+    result is bit-for-bit identical for any ``jobs`` value.  *chunksize* is
+    accepted for backward compatibility (it tuned transport, never results);
+    execution runs under the supervised pool, so a worker crash retries only
+    the lost instances instead of aborting the point.
     """
-    from repro.experiments.parallel import parallel_map
-
     items = [(granularity, s) for s in instance_seeds(config, granularity, epsilon)]
-    results = parallel_map(
-        partial(run_graph_instance, epsilon=epsilon, config=config, algorithms=algorithms),
-        items,
-        jobs=jobs,
-        chunksize=chunksize,
-    )
+    results = _supervised_instances(items, epsilon, config, algorithms, jobs)
     return _reduce_point(granularity, epsilon, config, results, algorithms)
+
+
+def _supervised_instances(units, epsilon, config, algorithms, jobs):
+    """Fan graph instances across the supervised pool; raise on exhaustion.
+
+    The figure campaigns have no partial-result shape (a point averages over
+    *all* its instances), so units still missing after the retry budget raise
+    :class:`~repro.resilience.supervisor.ExecutionError` — but a transient
+    worker death no longer costs the whole campaign, and each unit's seed
+    travels as its supervision token so failures stay attributable.
+    """
+    from repro.resilience import ExecutionError, resolve_chaos, supervised_map
+
+    outcome = supervised_map(
+        partial(
+            run_graph_instance, epsilon=epsilon, config=config, algorithms=algorithms
+        ),
+        units,
+        jobs=jobs,
+        tokens=[unit_seed for _granularity, unit_seed in units],
+        chaos=resolve_chaos(None),
+    )
+    if outcome.failures:
+        raise ExecutionError(outcome.failures, what=f"campaign (epsilon {epsilon})")
+    return outcome.values
 
 
 def run_campaign(
@@ -331,19 +349,15 @@ def run_campaign(
     *within* a point).  Every unit carries its own pre-derived seed, so the
     campaign is bit-for-bit identical for any ``jobs`` value (custom
     *algorithms* must be picklable, i.e. module-level functions); *chunksize*
-    only tunes how many units travel per pickle round-trip.
+    is accepted for backward compatibility (it tuned transport, never
+    results).  Execution runs under the supervised pool of
+    :mod:`repro.resilience`, so a transient worker death retries only the
+    lost instances instead of aborting the campaign.
     """
-    from repro.experiments.parallel import parallel_map
-
     units: list[tuple[float, int]] = []
     for granularity in config.granularities:
         units.extend((granularity, s) for s in instance_seeds(config, granularity, epsilon))
-    results = parallel_map(
-        partial(run_graph_instance, epsilon=epsilon, config=config, algorithms=algorithms),
-        units,
-        jobs=jobs,
-        chunksize=chunksize,
-    )
+    results = _supervised_instances(units, epsilon, config, algorithms, jobs)
     points = []
     n = config.num_graphs
     for k, granularity in enumerate(config.granularities):

@@ -155,6 +155,12 @@ def run_runtime_campaign(
     jobs: int | None = 1,
     cache=None,
     reduce: str = "traces",
+    *,
+    max_retries: int = 2,
+    trial_timeout: float | None = None,
+    resume: bool = False,
+    chaos=None,
+    stop=None,
 ) -> RuntimeCampaignResult:
     """Run *trials* independent online-runtime trials, *jobs* at a time.
 
@@ -177,6 +183,27 @@ def run_runtime_campaign(
     :attr:`~RuntimeCampaignResult.stats`, a small fraction of the transfer
     (and of the cache entry).  The reduction is part of the cache key, so the
     two modes never serve each other's entries.
+
+    Execution runs under the supervised pool of
+    :mod:`repro.resilience.supervisor`: a dead worker respawns the pool and
+    only the lost trials are retried (*max_retries* times each, exponential
+    backoff), *trial_timeout* kills a stuck worker's unit after that many
+    wall-clock seconds, and *chaos* (a
+    :class:`~repro.resilience.chaos.ChaosSpec` or spec string, also
+    activatable via ``$REPRO_CHAOS``) injects seeded failures for testing the
+    above.  Because trial seeds are pre-derived, a recovered campaign is
+    bit-identical to an undisturbed one.  A campaign has no partial shape to
+    degrade into, so retry exhaustion raises
+    :class:`~repro.resilience.supervisor.ExecutionError` (suites instead
+    annotate the failed point — see
+    :func:`repro.experiments.sweep.run_suite`).
+
+    *resume* opts into trial-level checkpointing: each completed trial is
+    written to the cache under its own :func:`~repro.cache.keys.trial_key` as
+    it lands, and a later run of the same campaign (even with a *larger*
+    ``trials`` value) executes only the missing trials.  Off by default —
+    checkpoint probes and writes change the cache traffic of a run, and a
+    full-campaign entry already serves the common case.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -191,28 +218,78 @@ def run_runtime_campaign(
         )
         spec = spec.to_scenario()
     from repro.cache import MISS, campaign_key, open_cache
+    from repro.resilience import ExecutionError, resolve_chaos, supervised_map
+    from repro.resilience.supervisor import ExecutionInterrupted, RetryPolicy
 
     cache = open_cache(cache)
+    chaos = resolve_chaos(chaos)
     key = campaign_key(spec, seed, trials, reduce=reduce) if cache.enabled else None
     if key is not None:
         hit = cache.get(key, expect=RuntimeCampaignResult)
         if hit is not MISS:
             return hit
     trial_seeds = campaign_trial_seeds(seed, trials)
-    if reduce == "stats":
-        summaries = parallel_map(partial(run_trial_summary, spec), trial_seeds, jobs=jobs)
-        result = RuntimeCampaignResult(
-            spec=spec,
-            seed=seed,
-            trial_seeds=trial_seeds,
-            traces=None,
-            summaries=tuple(summaries),
+    checkpoints = _probe_trial_checkpoints(
+        cache, spec, seed, range(trials), reduce, resume
+    )
+    pending = [t for t in range(trials) if t not in checkpoints]
+    fn = partial(run_trial_summary if reduce == "stats" else run_trial, spec)
+
+    def checkpoint(slot: int, value) -> None:
+        from repro.cache import trial_key
+
+        cache.put(trial_key(spec, seed, pending[slot], reduce=reduce), value)
+
+    outcome = supervised_map(
+        fn,
+        [trial_seeds[t] for t in pending],
+        jobs=jobs,
+        tokens=[trial_seeds[t] for t in pending],
+        policy=RetryPolicy(max_retries=max_retries),
+        timeout=trial_timeout,
+        chaos=chaos,
+        on_result=checkpoint if (resume and cache.enabled) else None,
+        stop=stop,
+    )
+    if outcome.failures:
+        raise ExecutionError(outcome.failures, what=f"campaign (seed {seed})")
+    if outcome.interrupted:
+        raise ExecutionInterrupted(
+            f"campaign (seed {seed})", resumable=resume and cache.enabled
         )
-    else:
-        traces = parallel_map(partial(run_trial, spec), trial_seeds, jobs=jobs)
-        result = RuntimeCampaignResult(
-            spec=spec, seed=seed, trial_seeds=trial_seeds, traces=tuple(traces)
-        )
+    values = dict(checkpoints)
+    values.update(zip(pending, outcome.values))
+    payload = tuple(values[t] for t in range(trials))
+    result = RuntimeCampaignResult(
+        spec=spec,
+        seed=seed,
+        trial_seeds=trial_seeds,
+        traces=payload if reduce == "traces" else None,
+        summaries=payload if reduce == "stats" else None,
+    )
     if key is not None:
         cache.put(key, result)
     return result
+
+
+def _probe_trial_checkpoints(
+    cache, spec, seed: int, trial_indices, reduce: str, resume: bool
+) -> dict[int, object]:
+    """The already-checkpointed trials of a campaign: ``{trial index: value}``.
+
+    Empty unless *resume* is on and the cache is real — per-trial probes are
+    extra cache traffic, and runs that did not opt in must keep their exact
+    historical hit/miss accounting.
+    """
+    if not resume or not cache.enabled:
+        return {}
+    from repro.cache import MISS, trial_key
+    from repro.runtime.trace import RuntimeTrace, TraceSummary
+
+    expect = TraceSummary if reduce == "stats" else RuntimeTrace
+    found: dict[int, object] = {}
+    for t in trial_indices:
+        value = cache.get(trial_key(spec, seed, t, reduce=reduce), expect=expect)
+        if value is not MISS:
+            found[t] = value
+    return found

@@ -56,6 +56,38 @@ def _cache_line(result: "SweepResult") -> str:
     )
 
 
+def _resilience_lines(result: "SweepResult") -> list[str]:
+    """Recovery/degradation annotations of a suite run (empty when clean).
+
+    An undisturbed, non-resumed run contributes nothing, keeping the
+    historical report byte-stable; any retry, checkpoint reuse, failed point
+    or drain shows up explicitly — a partial result must never read like a
+    complete one.
+    """
+    lines: list[str] = []
+    nonzero = {
+        name: count for name, count in result.resilience.items() if count
+    }
+    if nonzero:
+        lines.append(
+            "resilience: "
+            + ", ".join(f"{count} {name}" for name, count in nonzero.items())
+        )
+    if result.resumed_trials:
+        lines.append(
+            f"resumed: {result.resumed_trials} trial(s) served from "
+            f"checkpoints, {result.executed_trials} executed"
+        )
+    for index, note in result.failures:
+        lines.append(f"FAILED point #{index}: {note}")
+    if result.interrupted:
+        lines.append(
+            "interrupted: run was drained before completing — re-run with "
+            "--resume to execute only the missing trials"
+        )
+    return lines
+
+
 def render_sweep(result: "RuntimeSweepResult", plot: bool = True) -> str:
     """Render every panel of a runtime failure-regime sweep (one per metric)."""
     header = (
@@ -94,6 +126,7 @@ def render_suite(
     lines = [
         f"Suite {suite.describe(trials=result.trials, seed=result.seed)}",
         _cache_line(result),
+        *_resilience_lines(result),
     ]
     table = format_table(result.row_headers(), result.as_rows(), title="grid points")
     if not suite.axes:
@@ -127,17 +160,24 @@ def render_latency_report(
         f"Latency report — suite "
         f"{suite.describe(trials=result.trials, seed=result.seed)}",
         _cache_line(result),
+        *_resilience_lines(result),
         "percentiles are fixed-bucket upper edges (≤ ~8.5% high); max is exact",
     ]
     headers = [*suite.axes, *REPORT_METRICS, "source"]
     rows = []
     for point in result.points:
         stats = point.stats
+        metrics = (
+            [float("nan")] * len(REPORT_METRICS)
+            if point.failed
+            else [getattr(stats, attr) for attr in REPORT_METRICS.values()]
+        )
+        source = "failed" if point.failed else ("cache" if point.cached else "run")
         rows.append(
             [
                 *[point.value_of(path) for path in suite.axes],
-                *[getattr(stats, attr) for attr in REPORT_METRICS.values()],
-                "cache" if point.cached else "run",
+                *metrics,
+                source,
             ]
         )
     table = format_table(headers, rows, title="latency by grid point")

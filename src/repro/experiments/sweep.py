@@ -144,15 +144,25 @@ class SuitePointResult:
 
     spec: ScenarioSpec
     seed: int
-    campaign: "RuntimeCampaignResult"  # noqa: F821 - imported lazily
+    #: the point's campaign — or ``None`` when the point could not complete
+    #: (retry exhaustion under a dying pool, or an interrupted drain); then
+    #: :attr:`failure` says why and the metrics render as NaN.
+    campaign: "RuntimeCampaignResult | None"  # noqa: F821 - imported lazily
     #: whether this point was served from the result cache (bit-identical to
     #: re-execution by construction) instead of being re-run.
     cached: bool
+    #: failure annotation of a point that has no campaign (graceful
+    #: degradation: the suite completes and reports, it does not raise).
+    failure: str | None = None
 
     @property
-    def stats(self) -> RuntimeStats:
-        """Aggregate statistics of the point's Monte-Carlo campaign."""
-        return self.campaign.stats
+    def failed(self) -> bool:
+        return self.campaign is None
+
+    @property
+    def stats(self) -> RuntimeStats | None:
+        """Aggregate statistics of the point's campaign (``None`` if failed)."""
+        return None if self.campaign is None else self.campaign.stats
 
     def value_of(self, path: str):
         """The point's value on one suite axis (dotted spec path)."""
@@ -177,6 +187,33 @@ class SweepResult:
     #: whether a real cache backed this run (False: every point executed and
     #: the stats above are all zeros).
     cache_enabled: bool = False
+    #: the run was drained by SIGTERM/SIGINT before finishing; with
+    #: ``resume=True`` the completed trials are checkpointed and a re-run
+    #: executes only the missing ones.
+    interrupted: bool = False
+    #: trials served from per-trial checkpoints instead of executing
+    #: (``resume=True`` runs only; a full-campaign cache hit counts as a
+    #: cached *point*, not here).
+    resumed_trials: int = 0
+    #: trials actually executed by this run (cache hits excluded).
+    executed_trials: int = 0
+    #: supervisor counters of this run (retries, worker_crashes, timeouts,
+    #: pool_respawns, corrupt_payloads) — all zero on an undisturbed run.
+    resilience: dict = field(default_factory=dict)
+
+    @property
+    def failed_count(self) -> int:
+        """Points that exhausted retries (or were cut off by a drain)."""
+        return sum(1 for point in self.points if point.failed)
+
+    @property
+    def failures(self) -> list[tuple[int, str]]:
+        """``(grid index, annotation)`` of every failed point, grid order."""
+        return [
+            (i, point.failure or "failed")
+            for i, point in enumerate(self.points)
+            if point.failed
+        ]
 
     @property
     def axes(self) -> dict:
@@ -244,8 +281,8 @@ class SweepResult:
         series: dict[str, list] = {}
         for point in self.points:
             cells = series.setdefault(label_of(point), [None] * len(x_values))
-            cells[x_values.index(point.value_of(x_axis))] = getattr(
-                point.stats, attr
+            cells[x_values.index(point.value_of(x_axis))] = (
+                float("nan") if point.failed else getattr(point.stats, attr)
             )
         return FigureSeries(
             name=f"{self.suite.name}:{metric}",
@@ -279,11 +316,17 @@ class SweepResult:
         rows = []
         for point in self.points:
             stats = point.stats
+            metrics = (
+                [float("nan")] * len(SWEEP_METRICS)
+                if point.failed
+                else [getattr(stats, attr) for attr in SWEEP_METRICS.values()]
+            )
+            source = "failed" if point.failed else ("cache" if point.cached else "run")
             rows.append(
                 [
                     *[point.value_of(path) for path in self.suite.axes],
-                    *[getattr(stats, attr) for attr in SWEEP_METRICS.values()],
-                    "cache" if point.cached else "run",
+                    *metrics,
+                    source,
                 ]
             )
         return rows
@@ -313,6 +356,12 @@ def run_suite(
     jobs: int | None = 1,
     cache=None,
     reduce: str = "traces",
+    *,
+    max_retries: int = 2,
+    trial_timeout: float | None = None,
+    resume: bool = False,
+    chaos=None,
+    stop=None,
 ) -> SweepResult:
     """Execute every grid point of *suite* as one sharded, cached campaign.
 
@@ -336,16 +385,40 @@ def run_suite(
     which is the right mode for wide, cacheless sweeps that only read
     :attr:`SuitePointResult.stats` — the statistics are equal to the
     ``"traces"`` mode's by construction.
+
+    Execution is *supervised* (see :mod:`repro.resilience`): a dead worker
+    respawns the pool and only the lost (point, trial) units are retried
+    (*max_retries* times each, bounded exponential backoff), *trial_timeout*
+    kills a unit stuck past that many wall-clock seconds, and *chaos* (a
+    :class:`~repro.resilience.chaos.ChaosSpec` or spec string, also
+    ``$REPRO_CHAOS``) injects seeded failures for testing those paths.  A
+    point whose trials exhaust their retries does **not** abort the suite:
+    the run completes and that point carries a :attr:`SuitePointResult.
+    failure` annotation (its metrics render as NaN) — graceful degradation
+    over losing the whole campaign.
+
+    *resume* opts into trial-level checkpointing: each completed trial is
+    written to the cache under its :func:`~repro.cache.keys.trial_key` as it
+    lands, so a suite interrupted at any point (SIGTERM/SIGINT sets *stop*;
+    a crash loses nothing already flushed) re-executes only the missing
+    trials on the next ``resume=True`` run — and the resumed result is
+    bit-identical to an uninterrupted one, because every trial's seed is a
+    pure function of ``(point seed, trial index)``.  Off by default: the
+    probes and writes change a run's cache traffic, and the full-campaign
+    entry already serves the common case.
     """
     from repro.experiments.parallel import (
         RuntimeCampaignResult,
+        _probe_trial_checkpoints,
         campaign_trial_seeds,
         check_reduce,
-        parallel_map,
     )
+    from repro.resilience import resolve_chaos, supervised_map
+    from repro.resilience.supervisor import RetryPolicy
 
     check_reduce(reduce)
     cache = open_cache(cache)
+    chaos = resolve_chaos(chaos)
     stats_before = cache.stats.snapshot()
     run_seed = suite.seed if seed is None else seed
     run_trials = suite.trials if trials is None else trials
@@ -379,28 +452,85 @@ def run_suite(
     # grid has fewer points than workers, and each unit's return payload is
     # one trace (or one summary), never a whole campaign pickle.
     trial_seed_of = {i: campaign_trial_seeds(seeds[i], run_trials) for i in miss_indices}
-    units = [
-        (specs[i], trial_seed)
-        for i in miss_indices
-        for trial_seed in trial_seed_of[i]
-    ]
-    outputs = parallel_map(partial(_run_trial_unit, reduce=reduce), units, jobs=jobs)
-    for slot, i in enumerate(miss_indices):
-        chunk = tuple(outputs[slot * run_trials : (slot + 1) * run_trials])
-        campaign = RuntimeCampaignResult(
-            spec=specs[i],
-            seed=seeds[i],
-            trial_seeds=trial_seed_of[i],
-            traces=chunk if reduce == "traces" else None,
-            summaries=chunk if reduce == "stats" else None,
+    # resume: trials already checkpointed by an interrupted run (or by a
+    # smaller-trials run — trial keys ignore the campaign's total count) are
+    # served from the cache; only the missing ones become work units.
+    checkpoint_of = {
+        i: _probe_trial_checkpoints(
+            cache, specs[i], seeds[i], range(run_trials), reduce, resume
         )
-        if keys[i] is not None:
-            cache.put(keys[i], campaign)
-        campaigns[i] = campaign
+        for i in miss_indices
+    }
+    unit_meta: list[tuple[int, int]] = []  # (grid index, trial index) per unit
+    units = []
+    for i in miss_indices:
+        for t in range(run_trials):
+            if t not in checkpoint_of[i]:
+                unit_meta.append((i, t))
+                units.append((specs[i], trial_seed_of[i][t]))
+
+    def checkpoint(slot: int, value) -> None:
+        from repro.cache import trial_key
+
+        i, t = unit_meta[slot]
+        cache.put(trial_key(specs[i], seeds[i], t, reduce=reduce), value)
+
+    outcome = supervised_map(
+        partial(_run_trial_unit, reduce=reduce),
+        units,
+        jobs=jobs,
+        tokens=[trial_seed_of[i][t] for i, t in unit_meta],
+        policy=RetryPolicy(max_retries=max_retries),
+        timeout=trial_timeout,
+        chaos=chaos,
+        on_result=checkpoint if (resume and cache.enabled) else None,
+        stop=stop,
+    )
+    failure_of_slot = {f.index: f for f in outcome.failures}
+    values_of: dict[int, dict[int, object]] = {
+        i: dict(checkpoint_of[i]) for i in miss_indices
+    }
+    lost_of: dict[int, list[str]] = {i: [] for i in miss_indices}
+    executed_trials = 0
+    for slot, (i, t) in enumerate(unit_meta):
+        failure = failure_of_slot.get(slot)
+        if failure is not None:
+            lost_of[i].append(f"trial {t} {failure.kind}: {failure.error}")
+        elif outcome.values[slot] is not None:
+            values_of[i][t] = outcome.values[slot]
+            executed_trials += 1
+    failure_note: dict[int, str] = {}
+    for i in miss_indices:
+        values = values_of[i]
+        if len(values) == run_trials:
+            chunk = tuple(values[t] for t in range(run_trials))
+            campaign = RuntimeCampaignResult(
+                spec=specs[i],
+                seed=seeds[i],
+                trial_seeds=trial_seed_of[i],
+                traces=chunk if reduce == "traces" else None,
+                summaries=chunk if reduce == "stats" else None,
+            )
+            if keys[i] is not None:
+                cache.put(keys[i], campaign)
+            campaigns[i] = campaign
+        elif lost_of[i]:
+            failure_note[i] = (
+                f"{run_trials - len(values)} of {run_trials} trials lost "
+                f"after retry exhaustion ({'; '.join(lost_of[i][:2])})"
+            )
+        else:  # drained before this point's trials all ran
+            failure_note[i] = (
+                f"interrupted with {len(values)} of {run_trials} trials done"
+            )
     missed = set(miss_indices)
     points = tuple(
         SuitePointResult(
-            spec=spec, seed=point_seed, campaign=campaign, cached=i not in missed
+            spec=spec,
+            seed=point_seed,
+            campaign=None if i in failure_note else campaign,
+            cached=i not in missed,
+            failure=failure_note.get(i),
         )
         for i, (spec, point_seed, campaign) in enumerate(
             zip(specs, seeds, campaigns)
@@ -418,8 +548,13 @@ def run_suite(
             misses=after.misses - stats_before.misses,
             errors=after.errors - stats_before.errors,
             writes=after.writes - stats_before.writes,
+            quarantined=after.quarantined - stats_before.quarantined,
         ),
         cache_enabled=cache.enabled,
+        interrupted=outcome.interrupted,
+        resumed_trials=sum(len(found) for found in checkpoint_of.values()),
+        executed_trials=executed_trials,
+        resilience=dict(outcome.counters),
     )
 
 

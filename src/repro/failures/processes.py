@@ -116,8 +116,14 @@ class RenewalFaultProcess(FaultProcess):
     exponential(*mttf*) or Weibull(*shape*, mean *mttf*) delay divided by the
     group's hazard multiplier ``1 + load_coupling * mean(utilization)``; when
     it fires, *every* member crashes at the same instant.  With *mttr* the
-    whole group is repaired after an exponential(*mttr*) delay and its clock
-    restarts, until the horizon is exceeded.
+    whole group is repaired after an exponential(*mttr*) delay — or, with
+    *repair_shape* set, a Weibull(*repair_shape*, mean *mttr*) delay — and
+    its clock restarts, until the horizon is exceeded.
+
+    ``repair_shape=None`` (the default) keeps the historical exponential
+    repair draw bit-for-bit: a Weibull with shape 1 has the same *law* as the
+    exponential but consumes the RNG stream differently, so the identity
+    default must skip the Weibull path entirely, not set shape to 1.
     """
 
     def __init__(
@@ -132,12 +138,15 @@ class RenewalFaultProcess(FaultProcess):
         load_coupling: float = 0.0,
         utilization: Mapping[str, float] | None = None,
         exclude: Sequence[str] = (),
+        repair_shape: float | None = None,
     ):
         check_positive(horizon, "horizon")
         check_positive(mttf, "mttf")
         check_positive(shape, "shape")
         if mttr is not None:
             check_positive(mttr, "mttr")
+        if repair_shape is not None:
+            check_positive(repair_shape, "repair_shape")
         if distribution not in FAULT_DISTRIBUTIONS:
             raise ValueError(
                 f"distribution must be one of {FAULT_DISTRIBUTIONS}, got {distribution!r}"
@@ -150,9 +159,21 @@ class RenewalFaultProcess(FaultProcess):
         self.distribution = distribution
         self.shape = float(shape)
         self.mttr = None if mttr is None else float(mttr)
+        self.repair_shape = None if repair_shape is None else float(repair_shape)
         self.load_coupling = float(load_coupling)
         self.utilization = dict(utilization or {})
         self.groups = resolve_groups(platform, groups, exclude=exclude)
+
+    def _repair_time(self, rng: np.random.Generator) -> float:
+        """One repair delay: exponential(mttr), or Weibull when shaped.
+
+        The exponential fast path is load-bearing for reproducibility — see
+        the class docstring on why ``repair_shape=None`` must not become
+        ``weibull(1.0)``.
+        """
+        if self.repair_shape is None:
+            return float(rng.exponential(self.mttr))
+        return _inter_failure_time(rng, "weibull", self.mttr, self.repair_shape)
 
     def _hazard(self, group: tuple[str, ...]) -> float:
         if not self.load_coupling:
@@ -172,7 +193,7 @@ class RenewalFaultProcess(FaultProcess):
                 events.extend((t, m, "crash") for m in group)
                 if self.mttr is None:
                     break
-                t += float(rng.exponential(self.mttr))
+                t += self._repair_time(rng)
                 if t >= self.horizon:
                     break
                 events.extend((t, m, "repair") for m in group)

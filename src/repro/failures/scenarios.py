@@ -208,6 +208,7 @@ def sample_fault_trace(
     mttr: float | None = None,
     seed: int | np.random.Generator | None = None,
     *,
+    repair_shape: float | None = None,
     groups: Sequence[Sequence[str]] | None = None,
     load_coupling: float = 0.0,
     utilization: Mapping[str, float] | None = None,
@@ -221,8 +222,10 @@ def sample_fault_trace(
     renewal process whose first failure arrives after an exponential(*mttf*)
     or Weibull(*shape*, mean *mttf*) delay.  When *mttr* is ``None`` the
     failure is terminal (fail-stop); otherwise the processor is repaired
-    after an exponential(*mttr*) delay and may fail again, until the horizon
-    is exceeded.
+    after an exponential(*mttr*) delay — or Weibull(*repair_shape*, mean
+    *mttr*) when *repair_shape* is set — and may fail again, until the
+    horizon is exceeded.  ``repair_shape=None`` keeps the historical
+    exponential repair draw bit-for-bit.
 
     The keyword-only arguments open three further failure worlds (see
     :mod:`repro.failures.processes`):
@@ -260,6 +263,7 @@ def sample_fault_trace(
         distribution=distribution,
         shape=shape,
         mttr=mttr,
+        repair_shape=repair_shape,
         groups=groups,
         load_coupling=load_coupling,
         utilization=utilization,

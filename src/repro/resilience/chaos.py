@@ -1,0 +1,210 @@
+"""Deterministic chaos injection for the experiment runner.
+
+The paper's methodology is to subject a *platform* to seeded stochastic
+faults and check that the schedule survives; this module applies the same
+philosophy to the toolchain.  A :class:`ChaosSpec` describes seeded failure
+rates for the three ways a worker can betray the supervisor:
+
+* ``crash``   — the worker process dies mid-unit (``os._exit``), which the
+  pool surfaces as :class:`concurrent.futures.process.BrokenProcessPool`;
+* ``stall``   — the worker sleeps ``stall_seconds`` before answering, which
+  trips the supervisor's per-unit wall-clock timeout when one is set;
+* ``corrupt`` — the worker returns a :class:`CorruptPayload` marker instead
+  of the real result, which the supervisor rejects and retries.
+
+Every decision is a pure function of ``(seed, token, attempt, kind)`` hashed
+through SHA-256 — no RNG state, no process-local mutability — so a chaos run
+is exactly reproducible, unit by unit, across pool respawns and resumed
+suites.  Because an injected fault is keyed on the *attempt* number, a unit
+that crashes on attempt 0 re-rolls on attempt 1; once an attempt comes up
+clean the worker computes the genuine value, which is why a chaos-subjected
+campaign that recovers is bit-identical to a clean run.
+
+Activation is explicit (a ``chaos=`` argument threaded down from
+``run_suite``/``run_runtime_campaign``/the ``--chaos`` CLI flag) or ambient
+via the ``REPRO_CHAOS`` environment variable (a spec string, inherited by
+worker processes), which is how CI injects faults under an unmodified
+command line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import SpecificationError
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosCrash",
+    "ChaosSpec",
+    "CorruptPayload",
+    "resolve_chaos",
+]
+
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Exit status of a chaos-crashed worker process; distinctive on purpose so
+#: a post-mortem can tell an injected crash from a genuine segfault.
+CRASH_EXIT_CODE = 13
+
+_KINDS = ("crash", "stall", "corrupt")
+
+
+class ChaosCrash(RuntimeError):
+    """Raised in-process when chaos decides to crash outside a worker.
+
+    In a pool worker the crash is a hard ``os._exit`` (the whole point is to
+    break the pool); in serial execution that would take the test runner down
+    with it, so the same decision surfaces as this exception instead and the
+    supervisor counts it as a worker crash.
+    """
+
+
+@dataclass(frozen=True)
+class CorruptPayload:
+    """Marker returned by a chaos-corrupted unit in place of its result.
+
+    Picklable on purpose: it must cross the process boundary like a real
+    payload would, so the *supervisor* (not the transport) is what catches it.
+    """
+
+    token: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Seeded failure schedule for the runner's own workers.
+
+    Rates are independent per-attempt probabilities checked in a fixed order
+    (crash, stall, corrupt); the first that fires wins the attempt.
+    """
+
+    crash: float = 0.0
+    stall: float = 0.0
+    corrupt: float = 0.0
+    stall_seconds: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("crash", "stall", "corrupt"):
+            rate = getattr(self, name)
+            if not isinstance(rate, (int, float)) or not 0.0 <= float(rate) <= 1.0:
+                raise SpecificationError(
+                    f"chaos rate {name!r} must be in [0, 1], got {rate!r}"
+                )
+            object.__setattr__(self, name, float(rate))
+        if not isinstance(self.stall_seconds, (int, float)) or self.stall_seconds <= 0:
+            raise SpecificationError(
+                f"chaos stall_seconds must be > 0, got {self.stall_seconds!r}"
+            )
+        object.__setattr__(self, "stall_seconds", float(self.stall_seconds))
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise SpecificationError(f"chaos seed must be an int, got {self.seed!r}")
+
+    # -- parsing / round-trip -------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSpec":
+        """Parse the CLI/env form, e.g. ``"crash=0.2,corrupt=0.1,seed=7"``.
+
+        Keys are the field names; values are floats (``seed`` an int).  An
+        unknown key raises :class:`~repro.exceptions.SpecificationError` with
+        the accepted vocabulary, same contract as the scenario loaders.
+        """
+        values: dict[str, float | int] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep:
+                raise SpecificationError(
+                    f"chaos spec entry {part!r} is not key=value"
+                )
+            known = ("crash", "stall", "corrupt", "stall_seconds", "seed")
+            if key not in known:
+                raise SpecificationError(
+                    f"unknown chaos key {key!r}; expected one of {', '.join(known)}"
+                )
+            try:
+                values[key] = int(raw) if key == "seed" else float(raw)
+            except ValueError:
+                raise SpecificationError(
+                    f"chaos key {key!r} has non-numeric value {raw.strip()!r}"
+                ) from None
+        return cls(**values)
+
+    def spec_string(self) -> str:
+        """Inverse of :meth:`parse` (used to hand the spec to workers via env)."""
+        return (
+            f"crash={self.crash:g},stall={self.stall:g},corrupt={self.corrupt:g},"
+            f"stall_seconds={self.stall_seconds:g},seed={self.seed}"
+        )
+
+    @property
+    def active(self) -> bool:
+        return self.crash > 0 or self.stall > 0 or self.corrupt > 0
+
+    # -- the seeded schedule --------------------------------------------------
+
+    def _uniform(self, token: int, attempt: int, kind: str) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}:{token}:{attempt}:{kind}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def decide(self, token: int, attempt: int) -> str | None:
+        """The injected fault for ``(token, attempt)``, or ``None`` for clean.
+
+        Pure and stateless: calling it in the parent (to predict) and in the
+        worker (to act) yields the same answer, which is what makes chaos
+        tests assert exact outcomes instead of distributions.
+        """
+        for kind in _KINDS:
+            if self._uniform(token, attempt, kind) < getattr(self, kind):
+                return kind
+        return None
+
+    def inject(self, token: int, attempt: int) -> CorruptPayload | None:
+        """Act on the schedule, called in the worker before the real unit.
+
+        Returns a :class:`CorruptPayload` when the decision is ``corrupt``
+        (the caller returns it in place of the result), ``None`` when the
+        attempt proceeds; crashes and stalls act directly.
+        """
+        kind = self.decide(token, attempt)
+        if kind == "crash":
+            if multiprocessing.parent_process() is not None:
+                os._exit(CRASH_EXIT_CODE)
+            raise ChaosCrash(
+                f"chaos crash injected for unit token={token} attempt={attempt}"
+            )
+        if kind == "stall":
+            time.sleep(self.stall_seconds)
+            return None
+        if kind == "corrupt":
+            return CorruptPayload(token=token, attempt=attempt)
+        return None
+
+
+def resolve_chaos(chaos: "ChaosSpec | str | None") -> ChaosSpec | None:
+    """Resolve the effective chaos spec: explicit argument, else ``REPRO_CHAOS``.
+
+    Returns ``None`` when chaos is off (the common case), so callers can keep
+    a single ``if chaos is not None`` fast path.
+    """
+    if isinstance(chaos, str):
+        chaos = ChaosSpec.parse(chaos)
+    if chaos is None:
+        ambient = os.environ.get(CHAOS_ENV)
+        if ambient:
+            chaos = ChaosSpec.parse(ambient)
+    if chaos is not None and not chaos.active:
+        return None
+    return chaos

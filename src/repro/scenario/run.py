@@ -275,6 +275,7 @@ def build_fault_trace(
         if faults.mttr_periods is None
         else faults.mttr_periods * schedule_period,
         seed=seed,
+        repair_shape=faults.repair_shape,
         groups=_crash_groups(platform, faults),
         load_coupling=faults.load_coupling,
         utilization=utilization,

@@ -210,8 +210,12 @@ class FaultSpec:
     Times are expressed in multiples of the schedule period Δ so a spec is
     meaningful across workloads: ``mttf_periods=60`` means a processor fails
     on average after 60 stream iterations.  ``mttr_periods=None`` means
-    fail-stop (no repair, as in the paper).  ``seed`` pins the fault-trace
-    RNG; when ``None`` the run seed derives it.
+    fail-stop (no repair, as in the paper).  ``repair_shape`` makes repair
+    delays Weibull(``repair_shape``, mean ``mttr_periods``·Δ) instead of the
+    default exponential — ``None`` keeps the historical exponential draw
+    bit-for-bit (a Weibull with shape 1 has the same law but consumes the RNG
+    stream differently).  ``seed`` pins the fault-trace RNG; when ``None``
+    the run seed derives it.
 
     The remaining fields open the richer failure worlds of
     :mod:`repro.failures.processes`:
@@ -237,6 +241,7 @@ class FaultSpec:
     mttr_periods: float | None = None
     distribution: str = "exponential"
     weibull_shape: float = 1.5
+    repair_shape: float | None = None
     seed: int | None = None
     group_size: int | None = None
     load_coupling: float = 0.0
@@ -267,6 +272,12 @@ class FaultSpec:
             f"faults.weibull_shape must be > 0, got {self.weibull_shape!r}",
         )
         _set(self, "weibull_shape", float(self.weibull_shape))
+        if self.repair_shape is not None:
+            _require(
+                isinstance(self.repair_shape, (int, float)) and self.repair_shape > 0,
+                f"faults.repair_shape must be > 0 or null, got {self.repair_shape!r}",
+            )
+            _set(self, "repair_shape", float(self.repair_shape))
         if self.seed is not None:
             _require(
                 isinstance(self.seed, int) and self.seed >= 0,
@@ -314,6 +325,7 @@ class FaultSpec:
             stochastic = [
                 name
                 for name, value in (
+                    ("repair_shape", self.repair_shape),
                     ("group_size", self.group_size),
                     ("load_coupling", self.load_coupling or None),
                     ("spares", self.spares or None),

@@ -98,6 +98,10 @@ class ServiceApp:
             jobs = JobStore(cache=NullCache(), pool=WorkerPool())
         self.jobs = jobs
         self.metrics = MetricsRegistry()
+        if jobs.metrics is None:
+            # suite jobs count their resilience events (retries, worker
+            # crashes, resumed trials) into the service registry.
+            jobs.metrics = self.metrics
         self.started_at = time.time()
         self._routes: list[tuple[str, re.Pattern, Callable]] = [
             ("POST", re.compile(r"^/v1/scenarios$"), self._post_scenario),

@@ -212,14 +212,34 @@ class JobStore:
         exec_jobs: int = 1,
         breaker=None,
         progress_every: int = 200,
+        max_retries: int = 2,
+        trial_timeout: float | None = None,
+        chaos=None,
     ):
         self.cache = cache
         self.pool = pool
         self.exec_jobs = max(1, int(exec_jobs))
         self.breaker = breaker
         self.progress_every = progress_every
+        self.max_retries = max_retries
+        self.trial_timeout = trial_timeout
+        self.chaos = chaos
+        #: a MetricsRegistry the owning app may attach; resilience events of
+        #: suite jobs (retries, worker crashes, ...) are counted into it.
+        self.metrics = None
         self._jobs: dict[str, Job] = {}
+        self._stop = threading.Event()
         self._lock = threading.Lock()
+
+    def drain(self) -> None:
+        """Graceful shutdown: interrupt suite jobs at the next trial boundary.
+
+        Sets the stop event every in-flight :func:`run_suite` observes (its
+        completed trials are already checkpointed, so an identical resubmit
+        resumes rather than recomputes), then drains the worker pool.
+        """
+        self._stop.set()
+        self.pool.drain()
 
     # ------------------------------------------------------------------ reads
     def get(self, job_id: str) -> Job | None:
@@ -332,7 +352,32 @@ class JobStore:
             jobs=self.exec_jobs,
             cache=self.cache,
             reduce=request.reduce,
+            max_retries=self.max_retries,
+            trial_timeout=self.trial_timeout,
+            resume=getattr(self.cache, "enabled", False),
+            chaos=self.chaos,
+            stop=self._stop,
         )
+        if self.metrics is not None:
+            for name, count in result.resilience.items():
+                if count:
+                    self.metrics.inc(f"resilience.{name}", count)
+            if result.resumed_trials:
+                self.metrics.inc("resilience.resumed_trials", result.resumed_trials)
+        if result.interrupted:
+            # a drained job must fail honestly: publishing the partial
+            # document under the full result key would serve it as complete
+            # to every future identical submit.
+            raise RuntimeError(
+                "suite drained before completion; completed trials are "
+                "checkpointed — resubmit to resume"
+            )
+        if result.failed_count:
+            first = result.failures[0]
+            raise RuntimeError(
+                f"{result.failed_count} of {len(result.points)} suite points "
+                f"lost after retry exhaustion (point #{first[0]}: {first[1]})"
+            )
         job.emit(
             "suite-points",
             executed=result.executed_count,

@@ -84,6 +84,7 @@ class WorkerPool:
         self._inflight = 0
         self._durations: deque[float] = deque(maxlen=32)
         self._shed_count = 0
+        self._draining = False
 
     @property
     def capacity(self) -> int:
@@ -109,9 +110,22 @@ class WorkerPool:
             mean = sum(self._durations) / len(self._durations)
         return max(1, round(mean))
 
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` started: submits shed, in-flight finishes."""
+        with self._lock:
+            return self._draining
+
     def submit(self, fn: Callable, *args, **kwargs) -> Future:
         """Admit and schedule *fn*, or raise :class:`PoolSaturated` now."""
         with self._lock:
+            if self._draining:
+                self._shed_count += 1
+                raise PoolSaturated(
+                    "worker pool draining for shutdown; resubmit to the "
+                    "replacement instance",
+                    retry_after=1,
+                )
             if self._inflight >= self.capacity:
                 self._shed_count += 1
                 hint = (
@@ -146,6 +160,18 @@ class WorkerPool:
 
     def shutdown(self, wait: bool = True) -> None:
         self._executor.shutdown(wait=wait)
+
+    def drain(self) -> None:
+        """Graceful shutdown: shed new submits, wait for in-flight jobs.
+
+        The running jobs are *not* cancelled — suite jobs observe their
+        store's stop event and return at the next trial boundary with every
+        completed trial flushed to the cache, so an identical resubmit to a
+        fresh instance resumes instead of recomputing.
+        """
+        with self._lock:
+            self._draining = True
+        self._executor.shutdown(wait=True)
 
 
 class CircuitBreaker:

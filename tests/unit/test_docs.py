@@ -163,6 +163,49 @@ def test_scenarios_doc_covers_the_failure_worlds():
         assert flag in text, f"scenarios.md misses CLI flag {flag}"
 
 
+def test_resilience_doc_covers_the_supervision_surface():
+    """docs/resilience.md must document the resilient-execution surface: the
+    CLI knobs on both suite and runtime, the chaos spec vocabulary, resume
+    semantics and the partial-result contract — adding a knob without a docs
+    row fails here."""
+    text = (REPO / "docs" / "resilience.md").read_text()
+    for flag in ("--max-retries", "--trial-timeout", "--resume", "--chaos"):
+        assert f"`{flag}" in text, f"resilience.md misses flag {flag}"
+    # the CLI must actually accept those flags where the doc says it does
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        action.choices
+        for action in parser._actions
+        if hasattr(action, "choices") and action.choices and "runtime" in action.choices
+    )
+    for command in ("runtime", "suite"):
+        sub = subparsers[command]
+        if command == "suite":
+            sub = next(
+                action.choices["run"]
+                for action in sub._actions
+                if hasattr(action, "choices") and action.choices
+            )
+        flags = {
+            opt
+            for action in sub._actions
+            for opt in action.option_strings
+        }
+        for flag in ("--max-retries", "--trial-timeout", "--resume", "--chaos"):
+            assert flag in flags, f"{command} lost documented flag {flag}"
+    for name in ("supervised_map", "RetryPolicy", "ChaosSpec", "trial_key",
+                 "drain_signals", "ExecutionError", "REPRO_CHAOS"):
+        assert name in text, f"resilience.md misses API {name}"
+    for kind in ("crash", "stall", "corrupt"):
+        assert f"`{kind}`" in text, f"resilience.md misses chaos kind {kind}"
+    for concept in ("quarantine", "bit-identical", "130", "resilience.*"):
+        assert concept in text, f"resilience.md misses {concept!r}"
+    assert "docs/resilience.md" in (REPO / "README.md").read_text()
+    assert "resilience.md" in (REPO / "docs" / "architecture.md").read_text()
+
+
 def test_example_scenario_parses():
     spec = ScenarioSpec.from_file(REPO / "examples" / "scenario.json")
     assert spec.name

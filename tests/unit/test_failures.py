@@ -337,6 +337,32 @@ class TestStatisticalLaws:
         assert len(repairs) > 5_000
         assert sum(repairs) / len(repairs) == pytest.approx(1.0, rel=0.05)
 
+    @pytest.mark.parametrize("repair_shape", [0.7, 1.5])
+    def test_weibull_repair_delay_mean_is_mttr(self, repair_shape):
+        # same scale identity as the failure law: mean == mttr iff
+        # scale = mttr / Gamma(1 + 1/repair_shape).
+        trace = sample_fault_trace(
+            homogeneous_platform(1), horizon=self.HORIZON, mttf=2.0, mttr=1.0,
+            repair_shape=repair_shape, seed=4,
+        )
+        _, repairs = self._alternating_deltas(trace)
+        assert len(repairs) > 5_000
+        assert sum(repairs) / len(repairs) == pytest.approx(1.0, rel=0.05)
+        assert abs(sum(repairs) / len(repairs) - 1.0) < abs(
+            math.gamma(1.0 + 1.0 / repair_shape) - 1.0
+        ), "mean matches the identity, not the unscaled law"
+
+    def test_default_repair_draw_is_bit_identical_to_pre_repair_shape(self):
+        # repair_shape=None must not silently become weibull(1.0): the law
+        # is the same but the RNG stream is not, and golden fingerprints
+        # pin the exponential draw.
+        a = sample_fault_trace(homogeneous_platform(2), horizon=200.0, mttf=2.0, mttr=1.0, seed=5)
+        b = sample_fault_trace(
+            homogeneous_platform(2), horizon=200.0, mttf=2.0, mttr=1.0, seed=5,
+            repair_shape=None,
+        )
+        assert a == b
+
     def test_load_coupling_divides_inter_failure_mean(self):
         # hazard 1 + 1.0 * 1.0 = 2 -> effective MTTF is mttf / 2.
         platform = homogeneous_platform(1)
